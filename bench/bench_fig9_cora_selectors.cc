@@ -1,0 +1,43 @@
+// Regenerates Fig. 9: QBC vs. Margin progressive F1 on Cora (same panels as
+// Fig. 8). In the paper, Cora is the one dataset where NN-QBC(2) beats
+// NN-Margin.
+
+#include "bench/bench_util.h"
+#include "synth/profiles.h"
+
+int main() {
+  using namespace alem;
+  namespace b = alem::bench;
+  b::PrintHeader("Fig. 9: QBC vs. Margin (Progressive F1, Cora)",
+                 "Paper shape: similar curves per learner; trees dominate");
+  const size_t max_labels = b::MaxLabelsFromEnv(300);
+  const PreparedDataset data =
+      PrepareDataset(CoraProfile(), 7, b::ScaleFromEnv());
+
+  {
+    const RunResult qbc = b::Run(data, NeuralQbcSpec(2), max_labels);
+    const RunResult margin = b::Run(data, NeuralMarginSpec(), max_labels);
+    b::PrintSeriesTable("(a) Non-Convex Non-Linear",
+                        {b::CurveF1("QBC(2)", qbc.curve),
+                         b::CurveF1("Margin", margin.curve)});
+  }
+  {
+    const RunResult qbc2 = b::Run(data, LinearQbcSpec(2), max_labels);
+    const RunResult qbc20 = b::Run(data, LinearQbcSpec(20), max_labels);
+    const RunResult margin = b::Run(data, LinearMarginSpec(0), max_labels);
+    b::PrintSeriesTable("(b) Linear Classifier",
+                        {b::CurveF1("QBC(2)", qbc2.curve),
+                         b::CurveF1("QBC(20)", qbc20.curve),
+                         b::CurveF1("Margin(189Dim)", margin.curve)});
+  }
+  {
+    const RunResult t2 = b::Run(data, TreesSpec(2), max_labels);
+    const RunResult t10 = b::Run(data, TreesSpec(10), max_labels);
+    const RunResult t20 = b::Run(data, TreesSpec(20), max_labels);
+    b::PrintSeriesTable("(c) Tree-based Classifier",
+                        {b::CurveF1("Trees(2)", t2.curve),
+                         b::CurveF1("Trees(10)", t10.curve),
+                         b::CurveF1("Trees(20)", t20.curve)});
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks: training and prediction throughput of every learner at
+// active-learning-realistic training-set sizes (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "core/harness.h"
+#include "ml/dnf_rule.h"
+#include "ml/linear_svm.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "synth/profiles.h"
+
+namespace alem {
+namespace {
+
+// Shared prepared dataset (Abt-Buy at reduced scale).
+const PreparedDataset& Data() {
+  static const auto& data =
+      *new PreparedDataset(PrepareDataset(AbtBuyProfile(), 7, 0.4));
+  return data;
+}
+
+// Training rows: the first `n` post-blocking pairs (mixed labels).
+struct TrainingSlice {
+  FeatureMatrix features;
+  std::vector<int> labels;
+};
+
+TrainingSlice SliceOf(size_t n, bool boolean_features) {
+  const PreparedDataset& data = Data();
+  n = std::min(n, data.pairs.size());
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  TrainingSlice slice;
+  slice.features = (boolean_features ? data.boolean_features
+                                     : data.float_features)
+                       .Gather(rows);
+  slice.labels.assign(data.truth.begin(),
+                      data.truth.begin() + static_cast<long>(n));
+  return slice;
+}
+
+void BM_SvmFit(benchmark::State& state) {
+  const TrainingSlice slice =
+      SliceOf(static_cast<size_t>(state.range(0)), false);
+  LinearSvm model(LinearSvmConfig{});
+  for (auto _ : state) {
+    model.Fit(slice.features, slice.labels);
+    benchmark::DoNotOptimize(model.bias());
+  }
+}
+BENCHMARK(BM_SvmFit)->Arg(100)->Arg(300);
+
+void BM_ForestFit(benchmark::State& state) {
+  const TrainingSlice slice =
+      SliceOf(static_cast<size_t>(state.range(1)), false);
+  RandomForestConfig config;
+  config.num_trees = static_cast<int>(state.range(0));
+  RandomForest model(config);
+  for (auto _ : state) {
+    model.Fit(slice.features, slice.labels);
+    benchmark::DoNotOptimize(model.trees().size());
+  }
+}
+BENCHMARK(BM_ForestFit)->Args({10, 300})->Args({20, 300});
+
+void BM_NeuralNetFit(benchmark::State& state) {
+  const TrainingSlice slice =
+      SliceOf(static_cast<size_t>(state.range(0)), false);
+  NeuralNetwork model(NeuralNetConfig{});
+  for (auto _ : state) {
+    model.Fit(slice.features, slice.labels);
+    benchmark::DoNotOptimize(model.trained());
+  }
+}
+BENCHMARK(BM_NeuralNetFit)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_RulesFit(benchmark::State& state) {
+  const TrainingSlice slice =
+      SliceOf(static_cast<size_t>(state.range(0)), true);
+  DnfRuleLearner model;
+  for (auto _ : state) {
+    model.Fit(slice.features, slice.labels);
+    benchmark::DoNotOptimize(model.dnf().conjunctions.size());
+  }
+}
+BENCHMARK(BM_RulesFit)->Arg(100)->Arg(300);
+
+void BM_ForestPredictPool(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  RandomForestConfig config;
+  config.num_trees = 20;
+  RandomForest model(config);
+  model.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  for (auto _ : state) {
+    size_t positives = 0;
+    for (size_t i = 0; i < pool.rows(); ++i) {
+      positives += static_cast<size_t>(model.Predict(pool.Row(i)));
+    }
+    benchmark::DoNotOptimize(positives);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pool.rows()));
+}
+BENCHMARK(BM_ForestPredictPool);
+
+void BM_SvmMarginPool(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  LinearSvm model(LinearSvmConfig{});
+  model.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t i = 0; i < pool.rows(); ++i) {
+      sum += model.Margin(pool.Row(i));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pool.rows()));
+}
+BENCHMARK(BM_SvmMarginPool);
+
+}  // namespace
+}  // namespace alem

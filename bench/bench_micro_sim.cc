@@ -1,0 +1,64 @@
+// Micro-benchmarks: throughput of each similarity function and of full
+// feature-vector extraction (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "features/feature_extractor.h"
+#include "sim/similarity.h"
+#include "synth/generator.h"
+#include "synth/profiles.h"
+
+namespace alem {
+namespace {
+
+const AttributeProfile& LeftProfile() {
+  static const auto& profile = *new AttributeProfile(AttributeProfile::Build(
+      "sony cybershot dsc w55 digital camera 7.2 megapixel silver"));
+  return profile;
+}
+
+const AttributeProfile& RightProfile() {
+  static const auto& profile = *new AttributeProfile(AttributeProfile::Build(
+      "sony cyber-shot dscw55 camera 7 mp with 3x optical zoom"));
+  return profile;
+}
+
+void BM_SimilarityFunction(benchmark::State& state) {
+  const SimilarityFunction* function =
+      AllSimilarityFunctions()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(std::string(function->name()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        function->Similarity(LeftProfile(), RightProfile()));
+  }
+}
+BENCHMARK(BM_SimilarityFunction)->DenseRange(0, kNumSimilarityFunctions - 1);
+
+void BM_ProfileBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttributeProfile::Build(
+        "sony cybershot dsc w55 digital camera 7.2 megapixel silver"));
+  }
+}
+BENCHMARK(BM_ProfileBuild);
+
+void BM_FullFeatureVector(benchmark::State& state) {
+  static const auto& dataset =
+      *new EmDataset(GenerateDataset(AbtBuyProfile(), 7, 0.2));
+  static const auto& extractor = *new FeatureExtractor(dataset);
+  std::vector<float> features(extractor.num_dims());
+  uint32_t left = 0;
+  for (auto _ : state) {
+    extractor.ExtractPair(
+        RecordPair{left % static_cast<uint32_t>(dataset.left.num_rows()), 0},
+        features.data());
+    benchmark::DoNotOptimize(features.data());
+    ++left;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(extractor.num_dims()));
+}
+BENCHMARK(BM_FullFeatureVector);
+
+}  // namespace
+}  // namespace alem

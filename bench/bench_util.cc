@@ -1,0 +1,214 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+
+namespace alem {
+namespace bench {
+
+double ScaleFromEnv(double default_scale) {
+  const char* value = std::getenv("ALEM_SCALE");
+  if (value == nullptr) return default_scale;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : default_scale;
+}
+
+size_t MaxLabelsFromEnv(size_t default_labels) {
+  const char* value = std::getenv("ALEM_MAX_LABELS");
+  if (value == nullptr) return default_labels;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : default_labels;
+}
+
+size_t RunsFromEnv(size_t default_runs) {
+  const char* value = std::getenv("ALEM_RUNS");
+  if (value == nullptr) return default_runs;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : default_runs;
+}
+
+void PrintHeader(const std::string& artifact,
+                 const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("scale=%.2f (override with ALEM_SCALE / ALEM_MAX_LABELS / "
+              "ALEM_RUNS)\n",
+              ScaleFromEnv());
+  std::printf("==============================================================\n");
+}
+
+namespace {
+
+Series CurveOf(const std::string& name,
+               const std::vector<IterationStats>& curve,
+               double (*extract)(const IterationStats&)) {
+  Series series;
+  series.name = name;
+  series.points.reserve(curve.size());
+  for (const IterationStats& stats : curve) {
+    series.points.emplace_back(stats.labels_used, extract(stats));
+  }
+  return series;
+}
+
+}  // namespace
+
+Series CurveF1(const std::string& name,
+               const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve,
+                 [](const IterationStats& s) { return s.metrics.f1; });
+}
+
+Series CurveWaitSeconds(const std::string& name,
+                        const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve,
+                 [](const IterationStats& s) { return s.wait_seconds; });
+}
+
+Series CurveCommitteeSeconds(const std::string& name,
+                             const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve,
+                 [](const IterationStats& s) { return s.committee_seconds; });
+}
+
+Series CurveScoringSeconds(const std::string& name,
+                           const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve,
+                 [](const IterationStats& s) { return s.scoring_seconds; });
+}
+
+Series CurveDnfAtoms(const std::string& name,
+                     const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve, [](const IterationStats& s) {
+    return static_cast<double>(s.dnf_atoms);
+  });
+}
+
+Series CurveTreeDepth(const std::string& name,
+                      const std::vector<IterationStats>& curve) {
+  return CurveOf(name, curve, [](const IterationStats& s) {
+    return static_cast<double>(s.tree_depth);
+  });
+}
+
+namespace {
+
+// When ALEM_CSV_DIR is set, mirrors a series table into a CSV file there.
+void MaybeWriteCsv(const std::string& title,
+                   const std::vector<Series>& series,
+                   const std::vector<size_t>& grid) {
+  const char* dir = std::getenv("ALEM_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+
+  std::string file_name;
+  for (const char c : title) {
+    file_name.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"labels"};
+  for (const Series& s : series) header.push_back(s.name);
+  rows.push_back(std::move(header));
+  for (const size_t labels : grid) {
+    std::vector<std::string> row = {std::to_string(labels)};
+    for (const Series& s : series) {
+      double value = 0.0;
+      bool have_value = false;
+      for (const auto& [x, y] : s.points) {
+        if (x <= labels) {
+          value = y;
+          have_value = true;
+        } else {
+          break;
+        }
+      }
+      row.push_back(have_value ? std::to_string(value) : "");
+    }
+    rows.push_back(std::move(row));
+  }
+  const std::string path = std::string(dir) + "/" + file_name + ".csv";
+  if (WriteCsvFile(path, rows)) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+void PrintSeriesTable(const std::string& title,
+                      const std::vector<Series>& series, int value_digits) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  if (series.empty()) return;
+
+  // The x grid is the union of all label counts.
+  std::vector<size_t> grid;
+  for (const Series& s : series) {
+    for (const auto& [labels, value] : s.points) {
+      (void)value;
+      grid.push_back(labels);
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  MaybeWriteCsv(title, series, grid);
+
+  const int name_width = 16;
+  std::printf("%8s", "#labels");
+  for (const Series& s : series) {
+    std::printf("  %*s", name_width,
+                s.name.size() > static_cast<size_t>(name_width)
+                    ? s.name.substr(s.name.size() - name_width).c_str()
+                    : s.name.c_str());
+  }
+  std::printf("\n");
+  // Full names for truncated columns.
+  for (const Series& s : series) {
+    if (s.name.size() > static_cast<size_t>(name_width)) {
+      std::printf("#   (col '%s' = %s)\n",
+                  s.name.substr(s.name.size() - name_width).c_str(),
+                  s.name.c_str());
+    }
+  }
+
+  for (const size_t labels : grid) {
+    std::printf("%8zu", labels);
+    for (const Series& s : series) {
+      // Value at the largest x <= labels; blank before the series starts.
+      double value = 0.0;
+      bool have_value = false;
+      for (const auto& [x, y] : s.points) {
+        if (x <= labels) {
+          value = y;
+          have_value = true;
+        } else {
+          break;
+        }
+      }
+      if (have_value) {
+        std::printf("  %*.*f", name_width, value_digits, value);
+      } else {
+        std::printf("  %*s", name_width, "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+RunResult Run(const PreparedDataset& data, const ApproachSpec& spec,
+              size_t max_labels, double noise, bool holdout,
+              uint64_t run_seed) {
+  RunConfig config;
+  config.approach = spec;
+  config.max_labels = max_labels;
+  config.oracle_noise = noise;
+  config.holdout = holdout;
+  config.run_seed = run_seed;
+  return RunActiveLearning(data, config);
+}
+
+}  // namespace bench
+}  // namespace alem

@@ -1,0 +1,65 @@
+// Shared helpers for the per-figure/per-table benchmark harnesses.
+//
+// Every harness prints the same series the corresponding paper figure plots
+// (x = #labeled examples, y = metric), as aligned text tables. Environment
+// knobs let users scale runs up toward paper-sized experiments:
+//   ALEM_SCALE      dataset size multiplier        (default 1.0)
+//   ALEM_MAX_LABELS label budget per run           (default per-bench)
+//   ALEM_RUNS       repetitions for noisy oracles  (default per-bench)
+//   ALEM_CSV_DIR    when set, every printed series table is also written
+//                   as <dir>/<sanitized title>.csv for plotting
+
+#ifndef ALEM_BENCH_BENCH_UTIL_H_
+#define ALEM_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/active_loop.h"
+#include "core/harness.h"
+
+namespace alem {
+namespace bench {
+
+double ScaleFromEnv(double default_scale = 1.0);
+size_t MaxLabelsFromEnv(size_t default_labels);
+size_t RunsFromEnv(size_t default_runs);
+
+// Prints the bench banner: which paper artifact this regenerates and the
+// workload parameters in effect.
+void PrintHeader(const std::string& artifact, const std::string& description);
+
+// One plotted line: (x = #labels, y = value) points.
+struct Series {
+  std::string name;
+  std::vector<std::pair<size_t, double>> points;
+};
+
+Series CurveF1(const std::string& name,
+               const std::vector<IterationStats>& curve);
+Series CurveWaitSeconds(const std::string& name,
+                        const std::vector<IterationStats>& curve);
+Series CurveCommitteeSeconds(const std::string& name,
+                             const std::vector<IterationStats>& curve);
+Series CurveScoringSeconds(const std::string& name,
+                           const std::vector<IterationStats>& curve);
+Series CurveDnfAtoms(const std::string& name,
+                     const std::vector<IterationStats>& curve);
+Series CurveTreeDepth(const std::string& name,
+                      const std::vector<IterationStats>& curve);
+
+// Prints series side by side on a #labels grid; shorter series are padded
+// with their final value (an approach that terminated keeps its result).
+void PrintSeriesTable(const std::string& title,
+                      const std::vector<Series>& series, int value_digits = 3);
+
+// Convenience: run one approach on a prepared dataset with common settings.
+RunResult Run(const PreparedDataset& data, const ApproachSpec& spec,
+              size_t max_labels, double noise = 0.0, bool holdout = false,
+              uint64_t run_seed = 1);
+
+}  // namespace bench
+}  // namespace alem
+
+#endif  // ALEM_BENCH_BENCH_UTIL_H_

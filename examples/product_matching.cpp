@@ -1,0 +1,52 @@
+// Product catalog matching: choosing a learner and example selector.
+//
+// This example mirrors the paper's core benchmarking question — which
+// (classifier, selector) combination should a practitioner use? It runs
+// four representative approaches on a hard product dataset (an
+// Amazon-GoogleProducts analogue, where names, descriptions, and prices are
+// each unreliable for a different slice of the matches) and reports
+// quality, label consumption, and user wait time side by side.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/harness.h"
+#include "synth/profiles.h"
+
+int main() {
+  using namespace alem;
+
+  const PreparedDataset data =
+      PrepareDataset(AmazonGoogleProfile(), /*seed=*/7);
+  std::printf("dataset %s: %zu pairs, %zu matches, %zu features\n\n",
+              data.name.c_str(), data.pairs.size(), data.num_matches,
+              data.float_features.dims());
+
+  const std::vector<ApproachSpec> approaches = {
+      TreesSpec(20),                // Learner-aware committee (paper's best).
+      LinearMarginSpec(1),          // SVM + margin + selection-time blocking.
+      LinearQbcSpec(20),            // SVM + learner-agnostic QBC.
+      NeuralMarginSpec(),           // Neural network + margin.
+      RulesLfpLfnSpec(),            // Interpretable rules + LFP/LFN.
+  };
+
+  std::printf("%-24s %8s %14s %14s %12s\n", "Approach", "bestF1",
+              "labels@conv", "totalWait(s)", "iterations");
+  for (const ApproachSpec& spec : approaches) {
+    RunConfig config;
+    config.approach = spec;
+    config.max_labels = 300;
+    const RunResult result = RunActiveLearning(data, config);
+    std::printf("%-24s %8.3f %14zu %14.2f %12zu\n",
+                result.approach_name.c_str(), result.best_f1,
+                result.labels_to_converge, result.total_wait_seconds,
+                result.curve.size());
+  }
+
+  std::printf(
+      "\nGuidance (matches the paper's conclusions): tree ensembles with\n"
+      "learner-aware QBC give the best quality per label and per second;\n"
+      "margin-based SVMs are the fastest per iteration; rules trade\n"
+      "quality for interpretability and terminate earliest.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Plot the CSV series exported by the benchmark harnesses.
+
+Usage:
+    ALEM_CSV_DIR=/tmp/alem_csv ./build/bench/bench_fig12_classifier_comparison
+    python3 plots/plot_results.py /tmp/alem_csv          # one PNG per CSV
+    python3 plots/plot_results.py /tmp/alem_csv --show   # interactive
+
+Requires matplotlib (optional dependency; the C++ harnesses are fully
+functional without it — they print the same series as text tables).
+"""
+
+import csv
+import os
+import sys
+
+
+def load_series(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    header, body = rows[0], rows[1:]
+    xs = [int(row[0]) for row in body]
+    series = {}
+    for column, name in enumerate(header[1:], start=1):
+        points = [
+            (x, float(row[column]))
+            for x, row in zip(xs, body)
+            if row[column] != ""
+        ]
+        if points:
+            series[name] = points
+    return series
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    directory = sys.argv[1]
+    show = "--show" in sys.argv
+
+    try:
+        import matplotlib
+
+        if not show:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; the text tables in the bench "
+              "output contain the same data")
+        return 1
+
+    for file_name in sorted(os.listdir(directory)):
+        if not file_name.endswith(".csv"):
+            continue
+        path = os.path.join(directory, file_name)
+        series = load_series(path)
+        if not series:
+            continue
+        plt.figure(figsize=(6, 4))
+        for name, points in series.items():
+            xs, ys = zip(*points)
+            plt.plot(xs, ys, marker="o", markersize=3, label=name)
+        plt.xlabel("#labeled examples")
+        plt.ylabel("value")
+        plt.title(file_name[:-4].replace("_", " ").strip())
+        plt.legend(fontsize=8)
+        plt.grid(alpha=0.3)
+        plt.tight_layout()
+        if show:
+            plt.show()
+        else:
+            out = path[:-4] + ".png"
+            plt.savefig(out, dpi=120)
+            print(f"wrote {out}")
+        plt.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

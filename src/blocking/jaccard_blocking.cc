@@ -1,0 +1,250 @@
+#include "blocking/jaccard_blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace alem {
+namespace internal_blocking {
+namespace {
+
+// Interns tokens across both tables so records hold compact int ids.
+class TokenDictionary {
+ public:
+  int Intern(const std::string& token) {
+    const auto [it, inserted] =
+        ids_.emplace(token, static_cast<int>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+};
+
+std::vector<std::vector<int>> TokenizeWithDictionary(
+    const Table& table, const std::vector<int>& columns,
+    TokenDictionary* dictionary) {
+  std::vector<std::vector<int>> result(table.num_rows());
+  std::string concatenated;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    concatenated.clear();
+    for (const int column : columns) {
+      concatenated.append(table.Value(row, static_cast<size_t>(column)));
+      concatenated.push_back(' ');
+    }
+    std::vector<int>& ids = result[row];
+    for (const std::string& token : TokenizeWords(concatenated)) {
+      ids.push_back(dictionary->Intern(token));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return result;
+}
+
+struct TokenizedDataset {
+  std::vector<std::vector<int>> left;
+  std::vector<std::vector<int>> right;
+};
+
+TokenizedDataset TokenizeDataset(const EmDataset& dataset) {
+  std::vector<int> left_columns;
+  std::vector<int> right_columns;
+  for (const MatchedColumns& mc : dataset.matched_columns) {
+    left_columns.push_back(mc.left_column);
+    right_columns.push_back(mc.right_column);
+  }
+  TokenDictionary dictionary;
+  TokenizedDataset tokenized;
+  tokenized.left =
+      TokenizeWithDictionary(dataset.left, left_columns, &dictionary);
+  tokenized.right =
+      TokenizeWithDictionary(dataset.right, right_columns, &dictionary);
+  return tokenized;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> TokenizeRecords(const Table& table,
+                                              const std::vector<int>& columns) {
+  TokenDictionary dictionary;
+  return TokenizeWithDictionary(table, columns, &dictionary);
+}
+
+double SortedJaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+}  // namespace internal_blocking
+
+std::vector<RecordPair> JaccardBlocking(const EmDataset& dataset,
+                                        const BlockingConfig& config) {
+  using internal_blocking::TokenizeDataset;
+  ALEM_CHECK_GT(config.jaccard_threshold, 0.0);
+  const auto tokenized = TokenizeDataset(dataset);
+
+  // Inverted index: token id -> right-record ids containing it.
+  std::unordered_map<int, std::vector<uint32_t>> index;
+  for (uint32_t r = 0; r < tokenized.right.size(); ++r) {
+    for (const int token : tokenized.right[r]) {
+      index[token].push_back(r);
+    }
+  }
+
+  std::vector<RecordPair> pairs;
+  std::unordered_map<uint32_t, int> overlap;  // right id -> shared tokens.
+  for (uint32_t l = 0; l < tokenized.left.size(); ++l) {
+    const std::vector<int>& left_tokens = tokenized.left[l];
+    if (left_tokens.empty()) continue;
+    overlap.clear();
+    for (const int token : left_tokens) {
+      const auto it = index.find(token);
+      if (it == index.end()) continue;
+      for (const uint32_t r : it->second) ++overlap[r];
+    }
+    for (const auto& [r, shared] : overlap) {
+      const size_t unions =
+          left_tokens.size() + tokenized.right[r].size() -
+          static_cast<size_t>(shared);
+      const double jaccard =
+          static_cast<double>(shared) / static_cast<double>(unions);
+      if (jaccard >= config.jaccard_threshold) {
+        pairs.push_back(RecordPair{l, r});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const RecordPair& a,
+                                           const RecordPair& b) {
+    return a.left != b.left ? a.left < b.left : a.right < b.right;
+  });
+  return pairs;
+}
+
+std::vector<RecordPair> JaccardBlockingBruteForce(
+    const EmDataset& dataset, const BlockingConfig& config) {
+  using internal_blocking::SortedJaccard;
+  using internal_blocking::TokenizeDataset;
+  const auto tokenized = TokenizeDataset(dataset);
+
+  std::vector<RecordPair> pairs;
+  for (uint32_t l = 0; l < tokenized.left.size(); ++l) {
+    if (tokenized.left[l].empty()) continue;
+    for (uint32_t r = 0; r < tokenized.right.size(); ++r) {
+      if (tokenized.right[r].empty()) continue;
+      if (SortedJaccard(tokenized.left[l], tokenized.right[r]) >=
+          config.jaccard_threshold) {
+        pairs.push_back(RecordPair{l, r});
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<RecordPair> JaccardBlockingPrefix(const EmDataset& dataset,
+                                              const BlockingConfig& config) {
+  using internal_blocking::SortedJaccard;
+  using internal_blocking::TokenizeDataset;
+  ALEM_CHECK_GT(config.jaccard_threshold, 0.0);
+  const double threshold = config.jaccard_threshold;
+  const auto tokenized = TokenizeDataset(dataset);
+
+  // Global document frequency of every token id, over both sides.
+  std::unordered_map<int, int> document_frequency;
+  for (const auto& tokens : tokenized.left) {
+    for (const int token : tokens) ++document_frequency[token];
+  }
+  for (const auto& tokens : tokenized.right) {
+    for (const int token : tokens) ++document_frequency[token];
+  }
+
+  // Per-record token lists ordered rare-first (ascending df, then id), the
+  // canonical prefix-filter ordering: rare tokens concentrate candidates.
+  auto frequency_order = [&](const std::vector<int>& tokens) {
+    std::vector<int> ordered(tokens);
+    std::sort(ordered.begin(), ordered.end(), [&](int a, int b) {
+      const int fa = document_frequency.at(a);
+      const int fb = document_frequency.at(b);
+      return fa != fb ? fa < fb : a < b;
+    });
+    return ordered;
+  };
+  // Prefix length for Jaccard threshold t: |x| - ceil(t * |x|) + 1.
+  auto prefix_length = [&](size_t size) {
+    const size_t required =
+        static_cast<size_t>(std::ceil(threshold * static_cast<double>(size)));
+    return size - required + 1;
+  };
+
+  // Index the prefixes of the right side.
+  std::unordered_map<int, std::vector<uint32_t>> index;
+  std::vector<std::vector<int>> right_ordered(tokenized.right.size());
+  for (uint32_t row = 0; row < tokenized.right.size(); ++row) {
+    if (tokenized.right[row].empty()) continue;
+    right_ordered[row] = frequency_order(tokenized.right[row]);
+    const size_t prefix = prefix_length(right_ordered[row].size());
+    for (size_t i = 0; i < prefix; ++i) {
+      index[right_ordered[row][i]].push_back(row);
+    }
+  }
+
+  // Probe with the prefixes of the left side, then verify exactly.
+  std::vector<RecordPair> pairs;
+  std::unordered_set<uint32_t> candidates;
+  for (uint32_t left = 0; left < tokenized.left.size(); ++left) {
+    const std::vector<int>& left_tokens = tokenized.left[left];
+    if (left_tokens.empty()) continue;
+    const std::vector<int> ordered = frequency_order(left_tokens);
+    const size_t prefix = prefix_length(ordered.size());
+    candidates.clear();
+    for (size_t i = 0; i < prefix; ++i) {
+      const auto it = index.find(ordered[i]);
+      if (it == index.end()) continue;
+      for (const uint32_t right : it->second) candidates.insert(right);
+    }
+    for (const uint32_t right : candidates) {
+      if (SortedJaccard(left_tokens, tokenized.right[right]) >= threshold) {
+        pairs.push_back(RecordPair{left, right});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const RecordPair& a, const RecordPair& b) {
+              return a.left != b.left ? a.left < b.left : a.right < b.right;
+            });
+  return pairs;
+}
+
+double BlockingRecall(const EmDataset& dataset,
+                      const std::vector<RecordPair>& pairs) {
+  if (dataset.truth.num_matches() == 0) return 1.0;
+  size_t retained = 0;
+  for (const RecordPair& pair : pairs) {
+    if (dataset.truth.IsMatch(pair)) ++retained;
+  }
+  return static_cast<double>(retained) /
+         static_cast<double>(dataset.truth.num_matches());
+}
+
+}  // namespace alem

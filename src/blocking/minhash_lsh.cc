@@ -1,0 +1,205 @@
+#include "blocking/minhash_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace internal_minhash {
+namespace {
+
+// FNV-1a over a token; stable across platforms/processes (std::hash is not).
+uint64_t HashToken(const std::string& token) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : token) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Mixes a token hash with a slot seed (splitmix64 finalizer).
+uint64_t Mix(uint64_t token_hash, uint64_t slot_seed) {
+  uint64_t z = token_hash ^ slot_seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Unique token hashes of a record's matched columns, sorted (so the exact
+// Jaccard verification can merge-intersect).
+std::vector<uint64_t> RecordTokenHashes(const Table& table, size_t row,
+                                        const std::vector<int>& columns) {
+  std::string concatenated;
+  for (const int column : columns) {
+    concatenated.append(table.Value(row, static_cast<size_t>(column)));
+    concatenated.push_back(' ');
+  }
+  std::vector<uint64_t> hashes;
+  for (const std::string& token : TokenizeWords(concatenated)) {
+    hashes.push_back(HashToken(token));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return hashes;
+}
+
+double SortedJaccard(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(intersection) /
+         static_cast<double>(a.size() + b.size() - intersection);
+}
+
+}  // namespace
+
+std::vector<uint64_t> Signature(const std::vector<uint64_t>& token_hashes,
+                                const std::vector<uint64_t>& slot_seeds) {
+  std::vector<uint64_t> signature(slot_seeds.size(), ~0ULL);
+  for (const uint64_t token : token_hashes) {
+    for (size_t slot = 0; slot < slot_seeds.size(); ++slot) {
+      signature[slot] = std::min(signature[slot], Mix(token, slot_seeds[slot]));
+    }
+  }
+  return signature;
+}
+
+double CollisionProbability(double s, int num_bands, int rows_per_band) {
+  return 1.0 - std::pow(1.0 - std::pow(s, rows_per_band),
+                        static_cast<double>(num_bands));
+}
+
+}  // namespace internal_minhash
+
+MinHashConfig ConfigForThreshold(double threshold, int signature_size) {
+  ALEM_CHECK_GT(threshold, 0.0);
+  ALEM_CHECK_LE(threshold, 1.0);
+  ALEM_CHECK_GE(signature_size, 4);
+  // The S-curve of (b, r) banding rises around s* ~ (1/b)^(1/r). Try all
+  // factorizations of the signature budget and keep the one whose midpoint
+  // is closest to the requested threshold.
+  MinHashConfig best;
+  double best_distance = 1e9;
+  for (int rows = 1; rows <= signature_size; ++rows) {
+    const int bands = signature_size / rows;
+    if (bands < 1) break;
+    const double midpoint =
+        std::pow(1.0 / static_cast<double>(bands),
+                 1.0 / static_cast<double>(rows));
+    const double distance = std::abs(midpoint - threshold);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best.num_bands = bands;
+      best.rows_per_band = rows;
+    }
+  }
+  best.jaccard_threshold = threshold;
+  return best;
+}
+
+std::vector<RecordPair> MinHashBlocking(const EmDataset& dataset,
+                                        const MinHashConfig& config) {
+  using internal_minhash::RecordTokenHashes;
+  using internal_minhash::Signature;
+  using internal_minhash::SortedJaccard;
+  ALEM_CHECK_GE(config.num_bands, 1);
+  ALEM_CHECK_GE(config.rows_per_band, 1);
+
+  std::vector<int> left_columns;
+  std::vector<int> right_columns;
+  for (const MatchedColumns& mc : dataset.matched_columns) {
+    left_columns.push_back(mc.left_column);
+    right_columns.push_back(mc.right_column);
+  }
+
+  // Per-slot seeds.
+  Rng rng(config.seed);
+  const size_t slots = static_cast<size_t>(config.num_bands) *
+                       static_cast<size_t>(config.rows_per_band);
+  std::vector<uint64_t> slot_seeds(slots);
+  for (uint64_t& seed : slot_seeds) seed = rng.Next();
+
+  // Token hashes + signatures for both sides.
+  std::vector<std::vector<uint64_t>> left_tokens(dataset.left.num_rows());
+  std::vector<std::vector<uint64_t>> right_tokens(dataset.right.num_rows());
+  std::vector<std::vector<uint64_t>> left_signatures(dataset.left.num_rows());
+  std::vector<std::vector<uint64_t>> right_signatures(
+      dataset.right.num_rows());
+  for (size_t row = 0; row < dataset.left.num_rows(); ++row) {
+    left_tokens[row] = RecordTokenHashes(dataset.left, row, left_columns);
+    left_signatures[row] = Signature(left_tokens[row], slot_seeds);
+  }
+  for (size_t row = 0; row < dataset.right.num_rows(); ++row) {
+    right_tokens[row] = RecordTokenHashes(dataset.right, row, right_columns);
+    right_signatures[row] = Signature(right_tokens[row], slot_seeds);
+  }
+
+  // Band buckets: hash of the band's slot values -> right record ids.
+  std::unordered_set<uint64_t> candidate_keys;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  for (int band = 0; band < config.num_bands; ++band) {
+    buckets.clear();
+    const size_t begin = static_cast<size_t>(band) *
+                         static_cast<size_t>(config.rows_per_band);
+    auto band_key = [&](const std::vector<uint64_t>& signature) {
+      uint64_t key = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(band);
+      for (int r = 0; r < config.rows_per_band; ++r) {
+        key ^= signature[begin + static_cast<size_t>(r)] + 0x9e3779b9 +
+               (key << 6) + (key >> 2);
+      }
+      return key;
+    };
+    for (uint32_t row = 0; row < right_signatures.size(); ++row) {
+      if (right_tokens[row].empty()) continue;
+      buckets[band_key(right_signatures[row])].push_back(row);
+    }
+    for (uint32_t row = 0; row < left_signatures.size(); ++row) {
+      if (left_tokens[row].empty()) continue;
+      const auto it = buckets.find(band_key(left_signatures[row]));
+      if (it == buckets.end()) continue;
+      for (const uint32_t right : it->second) {
+        candidate_keys.insert(PairKey(RecordPair{row, right}));
+      }
+    }
+  }
+
+  // Materialize, optionally verify, and sort.
+  std::vector<RecordPair> pairs;
+  pairs.reserve(candidate_keys.size());
+  for (const uint64_t key : candidate_keys) {
+    const RecordPair pair{static_cast<uint32_t>(key >> 32),
+                          static_cast<uint32_t>(key & 0xffffffffu)};
+    if (config.verify &&
+        SortedJaccard(left_tokens[pair.left], right_tokens[pair.right]) <
+            config.jaccard_threshold) {
+      continue;
+    }
+    pairs.push_back(pair);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const RecordPair& a, const RecordPair& b) {
+              return a.left != b.left ? a.left < b.left : a.right < b.right;
+            });
+  return pairs;
+}
+
+}  // namespace alem

@@ -1,0 +1,60 @@
+// MinHash-LSH blocking: the approximate, sub-quadratic alternative to the
+// exact Jaccard join.
+//
+// Section 5.1 of the paper contrasts its selection-time blocking with the
+// LSH approach of Jain et al.; this module supplies the classic LSH
+// substrate for the *offline* blocking stage: per-record MinHash signatures
+// (one permutation per signature slot), banded into b bands of r rows.
+// Records colliding in at least one band become candidate pairs; an
+// optional verification pass removes candidates below the exact Jaccard
+// threshold.
+//
+// With collision probability P(s) = 1 - (1 - s^r)^b for true Jaccard s, the
+// (b, r) choice tunes where the S-curve rises; BandsForThreshold picks a
+// configuration whose curve is steep around the requested threshold.
+
+#ifndef ALEM_BLOCKING_MINHASH_LSH_H_
+#define ALEM_BLOCKING_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace alem {
+
+struct MinHashConfig {
+  // Signature layout: num_bands * rows_per_band hash slots total.
+  int num_bands = 16;
+  int rows_per_band = 4;
+  // When true, candidates are verified against the exact token-set Jaccard
+  // and `jaccard_threshold` below; when false, raw band collisions are
+  // returned (higher recall, lower precision, faster).
+  bool verify = true;
+  double jaccard_threshold = 0.1875;
+  uint64_t seed = 0x5eedULL;
+};
+
+// Suggests (num_bands, rows_per_band) whose collision S-curve is centered
+// near `threshold`, given a total signature budget of `signature_size`.
+MinHashConfig ConfigForThreshold(double threshold, int signature_size = 64);
+
+// Candidate pairs via banded MinHash. Output sorted by (left, right),
+// deduplicated. Deterministic in config.seed.
+std::vector<RecordPair> MinHashBlocking(const EmDataset& dataset,
+                                        const MinHashConfig& config);
+
+namespace internal_minhash {
+
+// MinHash signature of a hashed-token set (one 64-bit mix per slot).
+std::vector<uint64_t> Signature(const std::vector<uint64_t>& token_hashes,
+                                const std::vector<uint64_t>& slot_seeds);
+
+// Expected collision probability of a pair with Jaccard `s`.
+double CollisionProbability(double s, int num_bands, int rows_per_band);
+
+}  // namespace internal_minhash
+
+}  // namespace alem
+
+#endif  // ALEM_BLOCKING_MINHASH_LSH_H_

@@ -1,0 +1,138 @@
+#include "core/active_ensemble.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace alem {
+
+ActiveEnsembleLoop::ActiveEnsembleLoop(MarginLearner& candidate,
+                                       ExampleSelector& selector,
+                                       Oracle& oracle,
+                                       const Evaluator& evaluator,
+                                       const ActiveEnsembleConfig& config)
+    : candidate_(candidate),
+      selector_(selector),
+      oracle_(oracle),
+      evaluator_(evaluator),
+      config_(config) {
+  ALEM_CHECK(selector.CompatibleWith(candidate));
+}
+
+std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
+  std::vector<IterationStats> curve;
+  SeedPool(pool, oracle_, config_.base.seed_size, config_.base.seed);
+  accepted_count_ = 0;
+
+  // Union of positive predictions of all *accepted* members, per pool row.
+  std::vector<char> accepted_positive(pool.size(), 0);
+
+  for (size_t iteration = 1;; ++iteration) {
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.labels_used = pool.num_labeled();
+
+    // Train the candidate on the uncovered labeled remainder. If an accepted
+    // member covered everything, there may be nothing left to train on.
+    const std::vector<int> labels = pool.ActiveLabeledLabels();
+    const bool trainable =
+        !labels.empty() &&
+        std::count(labels.begin(), labels.end(), 1) > 0 &&
+        std::count(labels.begin(), labels.end(), 0) > 0;
+    StopWatch train_watch;
+    if (trainable) {
+      candidate_.Fit(pool.ActiveLabeledFeatures(), labels);
+    }
+    stats.train_seconds = train_watch.ElapsedSeconds();
+
+    // Precision gate: judge the candidate on the labeled examples it
+    // predicts positive (their true labels came from the Oracle).
+    double candidate_precision = 0.0;
+    bool candidate_judgeable = false;
+    if (trainable && candidate_.trained()) {
+      size_t predicted_positives = 0;
+      size_t correct_positives = 0;
+      for (const size_t row : pool.ActiveLabeledRows()) {
+        if (candidate_.Predict(pool.features().Row(row)) == 1) {
+          ++predicted_positives;
+          correct_positives +=
+              static_cast<size_t>(pool.LabelOf(row) == 1 ? 1 : 0);
+        }
+      }
+      if (predicted_positives >= config_.min_labeled_positives) {
+        candidate_judgeable = true;
+        candidate_precision = static_cast<double>(correct_positives) /
+                              static_cast<double>(predicted_positives);
+      }
+    }
+
+    // Evaluate the ensemble: the union of accepted members' positives, plus
+    // the current candidate — but only while the candidate looks precise
+    // (or no member has been accepted yet, so there is nothing else to
+    // report). A post-coverage candidate trained on the residue would
+    // otherwise pollute the union with false positives.
+    const bool include_candidate =
+        trainable && candidate_.trained() &&
+        (accepted_count_ == 0 ||
+         (candidate_judgeable &&
+          candidate_precision >= config_.precision_threshold));
+    const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
+    std::vector<int> predictions(eval_rows.size());
+    for (size_t i = 0; i < eval_rows.size(); ++i) {
+      const size_t row = eval_rows[i];
+      int prediction = accepted_positive[row];
+      if (prediction == 0 && include_candidate) {
+        prediction = candidate_.Predict(pool.features().Row(row));
+      }
+      predictions[i] = prediction;
+    }
+    stats.metrics = evaluator_.Evaluate(predictions);
+
+    if (candidate_judgeable &&
+        candidate_precision >= config_.precision_threshold) {
+      // Accept: record coverage and remove covered examples from both the
+      // labeled and unlabeled sets.
+      ++accepted_count_;
+      for (size_t row = 0; row < pool.size(); ++row) {
+        if (accepted_positive[row] != 0 || pool.IsExcluded(row)) continue;
+        if (candidate_.Predict(pool.features().Row(row)) == 1) {
+          accepted_positive[row] = 1;
+          pool.Exclude(row);
+        }
+      }
+    }
+    stats.ensemble_size = accepted_count_;
+
+    // Select the next batch from the uncovered unlabeled pool.
+    const bool budget_exhausted =
+        pool.num_labeled() >= config_.base.max_labels;
+    const bool target_reached = config_.base.target_f1 > 0.0 &&
+                                stats.metrics.f1 >= config_.base.target_f1;
+    std::vector<size_t> batch;
+    if (!budget_exhausted && !target_reached && trainable &&
+        !pool.unlabeled_rows().empty()) {
+      SelectionTiming timing;
+      const size_t remaining_budget =
+          config_.base.max_labels - pool.num_labeled();
+      batch = selector_.Select(
+          candidate_, pool,
+          std::min(config_.base.batch_size, remaining_budget), &timing);
+      stats.committee_seconds = timing.committee_seconds;
+      stats.scoring_seconds = timing.scoring_seconds;
+      stats.scored_examples = timing.scored_examples;
+      stats.pruned_examples = timing.pruned_examples;
+    }
+    stats.wait_seconds = stats.train_seconds + stats.committee_seconds +
+                         stats.scoring_seconds;
+    curve.push_back(stats);
+
+    if (batch.empty()) break;
+    for (const size_t row : batch) {
+      pool.AddLabel(row, oracle_.Label(row));
+    }
+  }
+  return curve;
+}
+
+}  // namespace alem

@@ -1,0 +1,145 @@
+#include "core/active_loop.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace alem {
+
+size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
+                uint64_t seed) {
+  Rng rng(seed);
+  size_t labeled = 0;
+  bool has_positive = false;
+  bool has_negative = false;
+
+  auto label_random_batch = [&](size_t count) {
+    const std::vector<size_t>& unlabeled = pool.unlabeled_rows();
+    if (unlabeled.empty()) return;
+    const size_t take = std::min(count, unlabeled.size());
+    const std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(unlabeled.size(), take);
+    // Materialize rows first: labeling invalidates `unlabeled`.
+    std::vector<size_t> rows(take);
+    for (size_t i = 0; i < take; ++i) rows[i] = unlabeled[picks[i]];
+    for (const size_t row : rows) {
+      const int label = oracle.Label(row);
+      pool.AddLabel(row, label);
+      ++labeled;
+      (label == 1 ? has_positive : has_negative) = true;
+    }
+  };
+
+  label_random_batch(seed_size);
+  // Both classes are required to train any of the learners. Under heavy
+  // class skew a 30-example seed occasionally misses the minority class;
+  // keep labeling small random batches until it shows up.
+  int extra_rounds = 0;
+  while ((!has_positive || !has_negative) && extra_rounds < 50 &&
+         !pool.unlabeled_rows().empty()) {
+    label_random_batch(10);
+    ++extra_rounds;
+  }
+  return labeled;
+}
+
+void CollectInterpretability(const Learner& learner, IterationStats* stats) {
+  if (const auto* forest = dynamic_cast<const ForestLearner*>(&learner)) {
+    stats->dnf_atoms = forest->model().TotalDnfAtoms();
+    stats->tree_depth = forest->model().MaxDepth();
+  } else if (const auto* rules = dynamic_cast<const RuleLearner*>(&learner)) {
+    stats->dnf_atoms = rules->dnf().NumAtoms();
+  }
+}
+
+ActiveLearningLoop::ActiveLearningLoop(Learner& learner,
+                                       ExampleSelector& selector,
+                                       Oracle& oracle,
+                                       const Evaluator& evaluator,
+                                       const ActiveLearningConfig& config)
+    : learner_(learner),
+      selector_(selector),
+      oracle_(oracle),
+      evaluator_(evaluator),
+      config_(config) {
+  ALEM_CHECK(selector.CompatibleWith(learner));
+  ALEM_CHECK_GT(config.batch_size, 0u);
+}
+
+std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
+  std::vector<IterationStats> curve;
+  SeedPool(pool, oracle_, config_.seed_size, config_.seed);
+
+  std::vector<int> previous_predictions;
+  size_t stable_iterations = 0;
+  for (size_t iteration = 1;; ++iteration) {
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.labels_used = pool.num_labeled();
+
+    // 1. Train on the cumulative labeled data.
+    StopWatch train_watch;
+    learner_.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+    stats.train_seconds = train_watch.ElapsedSeconds();
+
+    // 2. Evaluate.
+    const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
+    std::vector<int> predictions(eval_rows.size());
+    for (size_t i = 0; i < eval_rows.size(); ++i) {
+      predictions[i] = learner_.Predict(pool.features().Row(eval_rows[i]));
+    }
+    stats.metrics = evaluator_.Evaluate(predictions);
+    CollectInterpretability(learner_, &stats);
+
+    // Plateau detection: count consecutive iterations whose predictions are
+    // identical to the previous iteration's.
+    if (config_.plateau_window > 0) {
+      if (predictions == previous_predictions) {
+        ++stable_iterations;
+      } else {
+        stable_iterations = 0;
+      }
+      previous_predictions = predictions;
+    }
+
+    // 3. Select the next batch.
+    const bool plateaued = config_.plateau_window > 0 &&
+                           stable_iterations >= config_.plateau_window;
+    const bool budget_exhausted =
+        pool.num_labeled() + config_.batch_size > config_.max_labels &&
+        pool.num_labeled() >= config_.max_labels;
+    const bool target_reached =
+        config_.target_f1 > 0.0 && stats.metrics.f1 >= config_.target_f1;
+    std::vector<size_t> batch;
+    if (!budget_exhausted && !target_reached && !plateaued &&
+        !pool.unlabeled_rows().empty()) {
+      SelectionTiming timing;
+      const size_t remaining_budget =
+          config_.max_labels > pool.num_labeled()
+              ? config_.max_labels - pool.num_labeled()
+              : 0;
+      batch = selector_.Select(learner_, pool,
+                               std::min(config_.batch_size, remaining_budget),
+                               &timing);
+      stats.committee_seconds = timing.committee_seconds;
+      stats.scoring_seconds = timing.scoring_seconds;
+      stats.scored_examples = timing.scored_examples;
+      stats.pruned_examples = timing.pruned_examples;
+    }
+    stats.wait_seconds = stats.train_seconds + stats.committee_seconds +
+                         stats.scoring_seconds;
+    curve.push_back(stats);
+
+    if (batch.empty()) break;  // Termination: budget, target, or selector.
+
+    // 4. Query the Oracle and grow the training set.
+    for (const size_t row : batch) {
+      pool.AddLabel(row, oracle_.Label(row));
+    }
+  }
+  return curve;
+}
+
+}  // namespace alem

@@ -1,0 +1,101 @@
+// The active-learning driver (Fig. 1a of the paper).
+//
+// Starting from a small labeled seed (~30 examples), each iteration:
+//   1. trains the learner on the cumulative labeled data,
+//   2. evaluates it (progressive or holdout F1),
+//   3. asks the example selector for the next batch of ambiguous examples,
+//   4. queries the Oracle for their labels and adds them to the pool.
+// Per-iteration statistics capture every metric the paper plots: quality
+// (P/R/F1), latency (training, committee-creation, example-scoring, user
+// wait time), #labels, and interpretability (#DNF atoms, tree depth).
+
+#ifndef ALEM_CORE_ACTIVE_LOOP_H_
+#define ALEM_CORE_ACTIVE_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/learner.h"
+#include "core/oracle.h"
+#include "core/pool.h"
+#include "core/selector.h"
+#include "ml/metrics.h"
+
+namespace alem {
+
+struct ActiveLearningConfig {
+  // Initial random labeled seed (the paper uses ~30).
+  size_t seed_size = 30;
+  // Examples labeled per iteration (the paper uses 10).
+  size_t batch_size = 10;
+  // Hard label budget (counts the seed).
+  size_t max_labels = 400;
+  // Early stop once progressive F1 reaches this value; 0 disables. The
+  // paper stops perfect-oracle runs when an approach nears F1 = 1.0.
+  double target_f1 = 0.0;
+  // Seed for the initial sample (selectors carry their own RNGs).
+  uint64_t seed = 1;
+  // Ground-truth-free termination: stop once the model's predictions over
+  // the evaluation rows are unchanged for this many consecutive iterations
+  // (0 disables). Section 6.3 of the paper motivates termination criteria
+  // that do not require ground truth.
+  size_t plateau_window = 0;
+};
+
+struct IterationStats {
+  size_t iteration = 0;
+  // Cumulative #labels consumed (including the seed).
+  size_t labels_used = 0;
+  BinaryMetrics metrics;
+
+  double train_seconds = 0.0;
+  double committee_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  // Train + committee + scoring: what the user actually waits per iteration.
+  double wait_seconds = 0.0;
+
+  // Interpretability (0 when not applicable to the learner).
+  size_t dnf_atoms = 0;
+  int tree_depth = 0;
+
+  // Selection-time blocking counters (margin selector only).
+  size_t scored_examples = 0;
+  size_t pruned_examples = 0;
+
+  // #accepted classifiers (active-ensemble runs only).
+  size_t ensemble_size = 0;
+};
+
+// Labels a random seed batch, retrying with extra random examples until both
+// classes are present (a learner cannot be trained otherwise). Returns the
+// labeled count.
+size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
+                uint64_t seed);
+
+// Collects interpretability statistics from learners that support them.
+void CollectInterpretability(const Learner& learner, IterationStats* stats);
+
+class ActiveLearningLoop {
+ public:
+  // All references must outlive the loop. The learner is retrained in place
+  // each iteration.
+  ActiveLearningLoop(Learner& learner, ExampleSelector& selector,
+                     Oracle& oracle, const Evaluator& evaluator,
+                     const ActiveLearningConfig& config);
+
+  // Runs to termination (label budget, selector exhaustion, or target F1)
+  // and returns the per-iteration statistics curve.
+  std::vector<IterationStats> Run(ActivePool& pool);
+
+ private:
+  Learner& learner_;
+  ExampleSelector& selector_;
+  Oracle& oracle_;
+  const Evaluator& evaluator_;
+  ActiveLearningConfig config_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_CORE_ACTIVE_LOOP_H_

@@ -1,0 +1,165 @@
+#include "core/harness.h"
+
+#include <algorithm>
+
+#include "blocking/jaccard_blocking.h"
+#include "core/active_ensemble.h"
+#include "core/evaluator.h"
+#include "core/oracle.h"
+#include "features/feature_extractor.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace alem {
+
+PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
+                               double scale) {
+  PreparedDataset prepared;
+  prepared.name = profile.name;
+  prepared.dataset = GenerateDataset(profile, data_seed, scale);
+
+  BlockingConfig blocking;
+  blocking.jaccard_threshold = profile.blocking_threshold;
+  prepared.pairs = JaccardBlocking(prepared.dataset, blocking);
+  prepared.truth = prepared.dataset.LabelsFor(prepared.pairs);
+  prepared.class_skew = prepared.dataset.ClassSkew(prepared.pairs);
+  prepared.num_matches = static_cast<size_t>(
+      std::count(prepared.truth.begin(), prepared.truth.end(), 1));
+
+  FeatureExtractor extractor(prepared.dataset);
+  prepared.float_features = extractor.ExtractAll(prepared.pairs);
+  prepared.feature_names = extractor.FeatureNames();
+  prepared.featurizer = std::make_shared<BooleanFeaturizer>(extractor);
+  prepared.boolean_features =
+      prepared.featurizer->Featurize(prepared.float_features);
+  return prepared;
+}
+
+namespace {
+
+bool IsRuleApproach(const ApproachSpec& spec) {
+  return spec.learner == LearnerKind::kRules;
+}
+
+void FinalizeResult(const PreparedDataset& data, RunResult* result) {
+  (void)data;
+  for (const IterationStats& stats : result->curve) {
+    result->best_f1 = std::max(result->best_f1, stats.metrics.f1);
+    result->total_wait_seconds += stats.wait_seconds;
+    result->ensemble_accepted =
+        std::max(result->ensemble_accepted, stats.ensemble_size);
+  }
+  result->labels_to_converge =
+      result->curve.empty() ? 0 : result->curve.back().labels_used;
+  for (const IterationStats& stats : result->curve) {
+    if (stats.metrics.f1 >= result->best_f1 - kConvergenceSlack) {
+      result->labels_to_converge = stats.labels_used;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult RunActiveLearning(const PreparedDataset& data,
+                            const RunConfig& config) {
+  const FeatureMatrix& features = IsRuleApproach(config.approach)
+                                      ? data.boolean_features
+                                      : data.float_features;
+  ALEM_CHECK_GT(features.rows(), 0u);
+
+  ActivePool pool(features);
+
+  // Evaluation protocol.
+  std::unique_ptr<Evaluator> evaluator;
+  if (config.holdout) {
+    // Random held-out test split; test rows never enter example selection.
+    Rng split_rng(config.run_seed ^ 0x8badf00dULL);
+    const size_t test_size = static_cast<size_t>(
+        static_cast<double>(pool.size()) * config.holdout_fraction);
+    std::vector<size_t> test_rows =
+        split_rng.SampleWithoutReplacement(pool.size(), test_size);
+    std::sort(test_rows.begin(), test_rows.end());
+    std::vector<int> test_truth(test_rows.size());
+    for (size_t i = 0; i < test_rows.size(); ++i) {
+      test_truth[i] = data.truth[test_rows[i]];
+      pool.Exclude(test_rows[i]);
+    }
+    evaluator = std::make_unique<HoldoutEvaluator>(std::move(test_rows),
+                                                   std::move(test_truth));
+  } else {
+    evaluator = std::make_unique<ProgressiveEvaluator>(data.truth);
+  }
+
+  // Oracle.
+  std::unique_ptr<Oracle> oracle;
+  if (config.oracle_noise > 0.0) {
+    oracle = std::make_unique<NoisyOracle>(data.truth, config.oracle_noise,
+                                           config.run_seed ^ 0x0c0ffeeULL);
+  } else {
+    oracle = std::make_unique<PerfectOracle>(data.truth);
+  }
+
+  Approach approach = MakeApproach(config.approach, config.run_seed);
+
+  RunResult result;
+  result.approach_name = config.approach.DisplayName();
+
+  if (config.approach.active_ensemble) {
+    auto* margin_learner =
+        dynamic_cast<MarginLearner*>(approach.learner.get());
+    ALEM_CHECK(margin_learner != nullptr);
+    ActiveEnsembleConfig ensemble_config;
+    ensemble_config.base.seed_size = config.seed_size;
+    ensemble_config.base.batch_size = config.batch_size;
+    ensemble_config.base.max_labels = config.max_labels;
+    ensemble_config.base.target_f1 = config.target_f1;
+    ensemble_config.base.seed = config.run_seed;
+    ensemble_config.precision_threshold = config.approach.ensemble_precision;
+    ActiveEnsembleLoop loop(*margin_learner, *approach.selector, *oracle,
+                            *evaluator, ensemble_config);
+    result.curve = loop.Run(pool);
+    result.ensemble_accepted = loop.accepted_count();
+  } else {
+    ActiveLearningConfig loop_config;
+    loop_config.seed_size = config.seed_size;
+    loop_config.batch_size = config.batch_size;
+    loop_config.max_labels = config.max_labels;
+    loop_config.target_f1 = config.target_f1;
+    loop_config.seed = config.run_seed;
+    ActiveLearningLoop loop(*approach.learner, *approach.selector, *oracle,
+                            *evaluator, loop_config);
+    result.curve = loop.Run(pool);
+  }
+  result.final_model = std::move(approach.learner);
+  FinalizeResult(data, &result);
+  return result;
+}
+
+std::vector<AveragedPoint> AverageCurves(
+    const std::vector<std::vector<IterationStats>>& curves) {
+  std::vector<AveragedPoint> points;
+  if (curves.empty()) return points;
+  size_t longest = 0;
+  for (const auto& curve : curves) longest = std::max(longest, curve.size());
+
+  for (size_t i = 0; i < longest; ++i) {
+    RunningStats f1;
+    size_t labels = 0;
+    for (const auto& curve : curves) {
+      if (curve.empty()) continue;
+      // Pad finished curves with their final value (an approach that
+      // terminated early keeps its final F1).
+      const IterationStats& stats =
+          i < curve.size() ? curve[i] : curve.back();
+      f1.Add(stats.metrics.f1);
+      labels = std::max(labels, stats.labels_used);
+    }
+    points.push_back(AveragedPoint{labels, f1.mean(), f1.stddev()});
+  }
+  return points;
+}
+
+}  // namespace alem

@@ -1,0 +1,104 @@
+// End-to-end experiment harness.
+//
+// PrepareDataset runs the full preprocessing pipeline once per dataset
+// (generate -> offline blocking -> float features -> Boolean features), and
+// RunActiveLearning executes one (approach, oracle, evaluation-protocol)
+// cell on a prepared dataset. Benchmarks and examples are thin layers over
+// these two calls.
+
+#ifndef ALEM_CORE_HARNESS_H_
+#define ALEM_CORE_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/active_loop.h"
+#include "core/approaches.h"
+#include "data/dataset.h"
+#include "features/boolean_features.h"
+#include "features/feature_matrix.h"
+#include "synth/profiles.h"
+
+namespace alem {
+
+struct PreparedDataset {
+  std::string name;
+  EmDataset dataset;
+  // Post-blocking candidate pairs and their ground-truth labels.
+  std::vector<RecordPair> pairs;
+  std::vector<int> truth;
+  // Float features (21 sims x matched columns) for all pairs.
+  FeatureMatrix float_features;
+  // Boolean atom features for the rule learner.
+  FeatureMatrix boolean_features;
+  // Kept for pretty-printing learned rules. Shared because PreparedDataset
+  // is copied into per-run state while featurizers are not copyable.
+  std::shared_ptr<BooleanFeaturizer> featurizer;
+  std::vector<std::string> feature_names;
+
+  double class_skew = 0.0;
+  size_t num_matches = 0;
+};
+
+// Generates the dataset and runs the preprocessing pipeline.
+PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
+                               double scale = 1.0);
+
+struct RunConfig {
+  ApproachSpec approach;
+  size_t seed_size = 30;
+  size_t batch_size = 10;
+  size_t max_labels = 400;
+  // Early stop at this progressive F1 (0 disables).
+  double target_f1 = 0.0;
+  // Oracle label-flip probability (0 = perfect Oracle).
+  double oracle_noise = 0.0;
+  // Evaluate on a held-out split instead of progressively on all pairs.
+  bool holdout = false;
+  double holdout_fraction = 0.2;
+  // Drives seed sampling, learner randomness, noisy-oracle flips, splits.
+  uint64_t run_seed = 1;
+};
+
+struct RunResult {
+  std::string approach_name;
+  std::vector<IterationStats> curve;
+
+  // Best F1 along the curve, and the fewest labels at which the curve is
+  // within `kConvergenceSlack` of it (the paper's "#labels to convergence").
+  double best_f1 = 0.0;
+  size_t labels_to_converge = 0;
+
+  // Active-ensemble runs: #accepted classifiers at termination.
+  size_t ensemble_accepted = 0;
+
+  // Total user wait time across all iterations.
+  double total_wait_seconds = 0.0;
+
+  // The learner as trained at termination (shared so RunResult stays
+  // copyable). For ensemble runs this is the final candidate; the accepted
+  // members' predictions are not retained beyond the curve metrics.
+  std::shared_ptr<Learner> final_model;
+};
+
+inline constexpr double kConvergenceSlack = 0.005;
+
+// Runs one approach on a prepared dataset.
+RunResult RunActiveLearning(const PreparedDataset& data,
+                            const RunConfig& config);
+
+// Averages F1 curves of repeated runs (distinct run seeds), padding shorter
+// curves with their final value; used for noisy-oracle experiments. Returns
+// (labels, mean F1) points.
+struct AveragedPoint {
+  size_t labels = 0;
+  double mean_f1 = 0.0;
+  double stddev_f1 = 0.0;
+};
+std::vector<AveragedPoint> AverageCurves(
+    const std::vector<std::vector<IterationStats>>& curves);
+
+}  // namespace alem
+
+#endif  // ALEM_CORE_HARNESS_H_

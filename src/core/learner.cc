@@ -1,0 +1,110 @@
+#include "core/learner.h"
+
+namespace alem {
+
+std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
+  std::vector<int> predictions(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    predictions[i] = Predict(features.Row(i));
+  }
+  return predictions;
+}
+
+// ---- SvmLearner ----
+
+void SvmLearner::Fit(const FeatureMatrix& features,
+                     const std::vector<int>& labels) {
+  model_.Fit(features, labels);
+}
+
+int SvmLearner::Predict(const float* x) const { return model_.Predict(x); }
+
+std::unique_ptr<Learner> SvmLearner::CloneUntrained() const {
+  return std::make_unique<SvmLearner>(model_.config());
+}
+
+void SvmLearner::set_seed(uint64_t seed) {
+  LinearSvmConfig config = model_.config();
+  config.seed = seed;
+  model_ = LinearSvm(config);
+}
+
+double SvmLearner::Margin(const float* x) const { return model_.Margin(x); }
+
+std::vector<size_t> SvmLearner::BlockingDimensions(size_t k) const {
+  return model_.TopWeightDimensions(k);
+}
+
+// ---- NeuralNetLearner ----
+
+void NeuralNetLearner::Fit(const FeatureMatrix& features,
+                           const std::vector<int>& labels) {
+  model_.Fit(features, labels);
+}
+
+int NeuralNetLearner::Predict(const float* x) const {
+  return model_.Predict(x);
+}
+
+std::unique_ptr<Learner> NeuralNetLearner::CloneUntrained() const {
+  return std::make_unique<NeuralNetLearner>(model_.config());
+}
+
+void NeuralNetLearner::set_seed(uint64_t seed) {
+  NeuralNetConfig config = model_.config();
+  config.seed = seed;
+  model_ = NeuralNetwork(config);
+}
+
+double NeuralNetLearner::Margin(const float* x) const {
+  return model_.Margin(x);
+}
+
+std::vector<size_t> NeuralNetLearner::BlockingDimensions(size_t k) const {
+  return model_.TopImportanceDimensions(k);
+}
+
+// ---- ForestLearner ----
+
+void ForestLearner::Fit(const FeatureMatrix& features,
+                        const std::vector<int>& labels) {
+  model_.Fit(features, labels);
+}
+
+int ForestLearner::Predict(const float* x) const { return model_.Predict(x); }
+
+std::unique_ptr<Learner> ForestLearner::CloneUntrained() const {
+  return std::make_unique<ForestLearner>(model_.config());
+}
+
+void ForestLearner::set_seed(uint64_t seed) {
+  RandomForestConfig config = model_.config();
+  config.seed = seed;
+  model_ = RandomForest(config);
+}
+
+double ForestLearner::PositiveFraction(const float* x) const {
+  return model_.PositiveFraction(x);
+}
+
+// ---- RuleLearner ----
+
+void RuleLearner::Fit(const FeatureMatrix& boolean_features,
+                      const std::vector<int>& labels) {
+  model_.Fit(boolean_features, labels);
+}
+
+int RuleLearner::Predict(const float* boolean_row) const {
+  return model_.Predict(boolean_row);
+}
+
+std::unique_ptr<Learner> RuleLearner::CloneUntrained() const {
+  return std::make_unique<RuleLearner>(model_.config());
+}
+
+void RuleLearner::set_seed(uint64_t seed) {
+  // The greedy DNF learner is deterministic; nothing to reseed.
+  (void)seed;
+}
+
+}  // namespace alem

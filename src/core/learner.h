@@ -1,0 +1,170 @@
+// Learner class hierarchy (Fig. 2 of the paper).
+//
+// The framework's plug-and-play design rests on this hierarchy: the base
+// Learner class hosts the functionality every classifier shares (fit /
+// predict / clone), and capability subclasses mark what each learner can do
+// for example selection:
+//
+//   Learner
+//   |-- MarginLearner            (margin-based selection is applicable)
+//   |   |-- SvmLearner           (linear: exposes weights -> blocking dims)
+//   |   `-- NeuralNetLearner     (non-convex non-linear)
+//   |-- ForestLearner            (learner-aware committee: trees vote)
+//   `-- RuleLearner              (monotone DNF; LFP/LFN heuristic applies)
+//
+// Example selectors declare compatibility against these interfaces, which is
+// how the framework records which (learner, selector) combinations make
+// sense (Section 3).
+
+#ifndef ALEM_CORE_LEARNER_H_
+#define ALEM_CORE_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "features/boolean_features.h"
+#include "features/feature_matrix.h"
+#include "ml/dnf_rule.h"
+#include "ml/linear_svm.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+
+namespace alem {
+
+// Base class for all learners in the framework.
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  // Trains from scratch on labels in {0, 1}.
+  virtual void Fit(const FeatureMatrix& features,
+                   const std::vector<int>& labels) = 0;
+
+  virtual int Predict(const float* x) const = 0;
+  virtual std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  virtual bool trained() const = 0;
+
+  // Fresh untrained instance with identical configuration (used by the
+  // learner-agnostic QBC selector to build bootstrap committees).
+  virtual std::unique_ptr<Learner> CloneUntrained() const = 0;
+
+  // Reseeds internal randomness (committee members need distinct streams).
+  virtual void set_seed(uint64_t seed) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+// Learners for which a margin (distance-to-decision-boundary proxy) exists.
+class MarginLearner : public Learner {
+ public:
+  // |Margin| near 0 means the learner is ambiguous about x.
+  virtual double Margin(const float* x) const = 0;
+
+  // Indices of the top-k most discriminative feature dimensions, used as
+  // selection-time blocking dimensions (Section 5.1 of the paper): when all
+  // of them are zero for an example, the margin reduces to a constant and
+  // the example is unambiguous. The default (empty) marks blocking as
+  // unsupported for the learner.
+  virtual std::vector<size_t> BlockingDimensions(size_t k) const {
+    (void)k;
+    return {};
+  }
+};
+
+// Linear SVM learner.
+class SvmLearner final : public MarginLearner {
+ public:
+  SvmLearner() = default;
+  explicit SvmLearner(const LinearSvmConfig& config) : model_(config) {}
+
+  void Fit(const FeatureMatrix& features,
+           const std::vector<int>& labels) override;
+  int Predict(const float* x) const override;
+  bool trained() const override { return model_.trained(); }
+  std::unique_ptr<Learner> CloneUntrained() const override;
+  void set_seed(uint64_t seed) override;
+  std::string_view name() const override { return "LinearSVM"; }
+  double Margin(const float* x) const override;
+  std::vector<size_t> BlockingDimensions(size_t k) const override;
+
+  const LinearSvm& model() const { return model_; }
+
+ private:
+  LinearSvm model_;
+};
+
+// Single-hidden-layer feed-forward network learner.
+class NeuralNetLearner final : public MarginLearner {
+ public:
+  NeuralNetLearner() = default;
+  explicit NeuralNetLearner(const NeuralNetConfig& config) : model_(config) {}
+
+  void Fit(const FeatureMatrix& features,
+           const std::vector<int>& labels) override;
+  int Predict(const float* x) const override;
+  bool trained() const override { return model_.trained(); }
+  std::unique_ptr<Learner> CloneUntrained() const override;
+  void set_seed(uint64_t seed) override;
+  std::string_view name() const override { return "NeuralNet"; }
+  double Margin(const float* x) const override;
+  // Blocking for non-linear classifiers (paper Section 5.2 suggestion):
+  // input dimensions ranked by back-propagated absolute weight products.
+  std::vector<size_t> BlockingDimensions(size_t k) const override;
+
+  const NeuralNetwork& model() const { return model_; }
+
+ private:
+  NeuralNetwork model_;
+};
+
+// Random-forest learner. The trees double as a learner-aware QBC committee.
+class ForestLearner final : public Learner {
+ public:
+  ForestLearner() = default;
+  explicit ForestLearner(const RandomForestConfig& config) : model_(config) {}
+
+  void Fit(const FeatureMatrix& features,
+           const std::vector<int>& labels) override;
+  int Predict(const float* x) const override;
+  bool trained() const override { return model_.trained(); }
+  std::unique_ptr<Learner> CloneUntrained() const override;
+  void set_seed(uint64_t seed) override;
+  std::string_view name() const override { return "RandomForest"; }
+
+  // Fraction of trees voting positive on x (committee agreement).
+  double PositiveFraction(const float* x) const;
+
+  const RandomForest& model() const { return model_; }
+
+ private:
+  RandomForest model_;
+};
+
+// Monotone-DNF rule learner. Consumes *Boolean* feature matrices (built by
+// BooleanFeaturizer); the featurizer reference is kept for pretty-printing.
+class RuleLearner final : public Learner {
+ public:
+  RuleLearner() = default;
+  explicit RuleLearner(const DnfRuleLearnerConfig& config) : model_(config) {}
+
+  void Fit(const FeatureMatrix& boolean_features,
+           const std::vector<int>& labels) override;
+  int Predict(const float* boolean_row) const override;
+  bool trained() const override { return model_.trained(); }
+  std::unique_ptr<Learner> CloneUntrained() const override;
+  void set_seed(uint64_t seed) override;
+  std::string_view name() const override { return "Rules"; }
+
+  const Dnf& dnf() const { return model_.dnf(); }
+  const DnfRuleLearner& model() const { return model_; }
+
+ private:
+  DnfRuleLearner model_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_CORE_LEARNER_H_

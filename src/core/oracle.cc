@@ -1,0 +1,65 @@
+#include "core/oracle.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alem {
+
+PerfectOracle::PerfectOracle(std::vector<int> truth)
+    : truth_(std::move(truth)) {}
+
+int PerfectOracle::Label(size_t row) {
+  ALEM_CHECK_LT(row, truth_.size());
+  CountQuery();
+  return truth_[row];
+}
+
+NoisyOracle::NoisyOracle(std::vector<int> truth, double noise, uint64_t seed)
+    : truth_(std::move(truth)),
+      cached_(truth_.size(), -1),
+      noise_(noise),
+      rng_(seed) {
+  ALEM_CHECK_GE(noise, 0.0);
+  ALEM_CHECK_LE(noise, 1.0);
+}
+
+int NoisyOracle::Label(size_t row) {
+  ALEM_CHECK_LT(row, truth_.size());
+  CountQuery();
+  if (cached_[row] < 0) {
+    const bool flip = rng_.NextBernoulli(noise_);
+    cached_[row] = static_cast<int8_t>(flip ? 1 - truth_[row] : truth_[row]);
+  }
+  return cached_[row];
+}
+
+MajorityVoteOracle::MajorityVoteOracle(std::vector<int> truth, double noise,
+                                       int num_voters, uint64_t seed)
+    : truth_(std::move(truth)),
+      cached_(truth_.size(), -1),
+      noise_(noise),
+      num_voters_(num_voters),
+      rng_(seed) {
+  ALEM_CHECK_GE(noise, 0.0);
+  ALEM_CHECK_LE(noise, 1.0);
+  ALEM_CHECK_GE(num_voters, 1);
+  ALEM_CHECK_EQ(num_voters % 2, 1);  // Odd, so the majority is defined.
+}
+
+int MajorityVoteOracle::Label(size_t row) {
+  ALEM_CHECK_LT(row, truth_.size());
+  CountQuery();
+  if (cached_[row] < 0) {
+    int positive_votes = 0;
+    for (int voter = 0; voter < num_voters_; ++voter) {
+      const bool flip = rng_.NextBernoulli(noise_);
+      positive_votes += flip ? 1 - truth_[row] : truth_[row];
+    }
+    cached_[row] =
+        static_cast<int8_t>(2 * positive_votes > num_voters_ ? 1 : 0);
+  }
+  return cached_[row];
+}
+
+}  // namespace alem

@@ -1,0 +1,188 @@
+// Example selectors (Section 4 of the paper).
+//
+//   ExampleSelector
+//   |-- RandomSelector      (supervised-learning baseline: random batches)
+//   |-- QbcSelector         (learner-agnostic query-by-committee, Sec 4.1)
+//   |-- ForestQbcSelector   (learner-aware QBC on a trained forest, 4.1.1)
+//   |-- MarginSelector      (margin-based, Sec 4.2; optional selection-time
+//   |                        blocking over top-K |weight| dims, Sec 5.1)
+//   `-- LfpLfnSelector      (likely false positives/negatives for rules, 4.3)
+//
+// Each Select() reports its latency split into committee-creation time and
+// example-scoring time, which is exactly the breakdown plotted in Fig. 10.
+
+#ifndef ALEM_CORE_SELECTOR_H_
+#define ALEM_CORE_SELECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/learner.h"
+#include "core/pool.h"
+#include "util/rng.h"
+
+namespace alem {
+
+struct SelectionTiming {
+  double committee_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  // #unlabeled examples fully scored and #skipped by selection-time blocking.
+  size_t scored_examples = 0;
+  size_t pruned_examples = 0;
+};
+
+class ExampleSelector {
+ public:
+  virtual ~ExampleSelector() = default;
+
+  // Picks up to `k` unlabeled rows for the Oracle. `model` is the learner
+  // trained in the current iteration. An empty result signals that the
+  // selector found nothing worth labeling (the rule learner's termination
+  // criterion). `timing` may be null.
+  virtual std::vector<size_t> Select(const Learner& model,
+                                     const ActivePool& pool, size_t k,
+                                     SelectionTiming* timing) = 0;
+
+  // Whether this selector can drive the given learner (Fig. 2 class
+  // compatibility).
+  virtual bool CompatibleWith(const Learner& model) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+// Uniform random selection — the "supervised learning" arm of Figs. 16/17,
+// where each iteration labels a random batch instead of an informative one.
+class RandomSelector final : public ExampleSelector {
+ public:
+  explicit RandomSelector(uint64_t seed) : rng_(seed) {}
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+// Learner-agnostic QBC: draws `committee_size` bootstrap samples from the
+// labeled data, trains a committee of clones, and scores each unlabeled
+// example by the vote variance Pi/C * (1 - Pi/C) (Mozafari et al.).
+class QbcSelector final : public ExampleSelector {
+ public:
+  QbcSelector(int committee_size, uint64_t seed);
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return name_; }
+
+  int committee_size() const { return committee_size_; }
+
+ private:
+  int committee_size_;
+  Rng rng_;
+  std::string name_;
+};
+
+// Learner-aware QBC for tree ensembles: the trees of the trained forest are
+// the committee, so committee-creation time is zero by construction.
+class ForestQbcSelector final : public ExampleSelector {
+ public:
+  explicit ForestQbcSelector(uint64_t seed) : rng_(seed) {}
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return "ForestQBC"; }
+
+ private:
+  Rng rng_;
+};
+
+// Margin-based selection: picks the unlabeled examples with the smallest
+// |margin|. With blocking_dims > 0 and a linear learner, examples whose
+// top-K |weight| feature dimensions are all zero are pruned without
+// computing the full dot product (Section 5.1); blocking_dims == 0 disables
+// the optimization (equivalent to using all dimensions for blocking).
+class MarginSelector final : public ExampleSelector {
+ public:
+  explicit MarginSelector(size_t blocking_dims = 0)
+      : blocking_dims_(blocking_dims) {}
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return "Margin"; }
+
+  size_t blocking_dims() const { return blocking_dims_; }
+
+ private:
+  size_t blocking_dims_;
+};
+
+// Importance-weighted active learning (IWAL, Beygelzimer et al.), the
+// related-work baseline of Section 2. Instead of deterministically taking
+// the top-variance examples, each unlabeled example is *sampled* with a
+// probability that grows with the committee disagreement on it
+// (p = p_min + (1 - p_min) * 4 * variance), which preserves a non-zero
+// selection probability everywhere. This implementation omits the
+// importance-weighted training correction (our learners are unweighted);
+// the paper's observation that IWAL "incurs excessive labels" for EM stems
+// from exactly this exploration-heavy sampling.
+class IwalSelector final : public ExampleSelector {
+ public:
+  IwalSelector(int committee_size, double min_probability, uint64_t seed);
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  int committee_size_;
+  double min_probability_;
+  Rng rng_;
+  std::string name_;
+};
+
+// Density-weighted uncertainty sampling (Settles' information-density
+// framework; an extension beyond the paper's three selector families).
+// Plain margin selection can burn labels on outliers that are ambiguous but
+// unrepresentative; this selector scores
+//   uncertainty(x) * (average cosine similarity of x to a pool sample)^beta
+// so ambiguous examples in dense regions win.
+class DensityWeightedSelector final : public ExampleSelector {
+ public:
+  DensityWeightedSelector(double beta, uint64_t seed);
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return "DensityMargin"; }
+
+ private:
+  double beta_;
+  Rng rng_;
+};
+
+// LFP/LFN heuristic for rule learners: likely false positives are unlabeled
+// examples the DNF matches but that look dissimilar (low fraction of
+// satisfied atoms); likely false negatives are examples some Rule-Minus
+// relaxation matches but the full DNF rejects, that look similar. Returns an
+// empty batch when neither kind exists — the paper's early-termination
+// criterion for rule learning.
+class LfpLfnSelector final : public ExampleSelector {
+ public:
+  LfpLfnSelector() = default;
+
+  std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
+                             size_t k, SelectionTiming* timing) override;
+  bool CompatibleWith(const Learner& model) const override;
+  std::string_view name() const override { return "LFP/LFN"; }
+};
+
+}  // namespace alem
+
+#endif  // ALEM_CORE_SELECTOR_H_

@@ -1,0 +1,35 @@
+#include "data/dataset.h"
+
+namespace alem {
+
+std::vector<int> EmDataset::LabelsFor(
+    const std::vector<RecordPair>& pairs) const {
+  std::vector<int> labels(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    labels[i] = truth.IsMatch(pairs[i]) ? 1 : 0;
+  }
+  return labels;
+}
+
+double EmDataset::ClassSkew(const std::vector<RecordPair>& pairs) const {
+  if (pairs.empty()) return 0.0;
+  size_t matches = 0;
+  for (const RecordPair& pair : pairs) {
+    if (truth.IsMatch(pair)) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(pairs.size());
+}
+
+std::vector<MatchedColumns> EmDataset::AlignByName(const Table& left,
+                                                   const Table& right) {
+  std::vector<MatchedColumns> aligned;
+  for (size_t i = 0; i < left.schema().num_columns(); ++i) {
+    const int j = right.schema().IndexOf(left.schema().column(i));
+    if (j >= 0) {
+      aligned.push_back(MatchedColumns{static_cast<int>(i), j});
+    }
+  }
+  return aligned;
+}
+
+}  // namespace alem

@@ -1,0 +1,77 @@
+// EM dataset representation: two tables, aligned columns, candidate pairs,
+// and ground truth.
+
+#ifndef ALEM_DATA_DATASET_H_
+#define ALEM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/table.h"
+
+namespace alem {
+
+// One candidate record pair: row indices into the left and right tables.
+struct RecordPair {
+  uint32_t left = 0;
+  uint32_t right = 0;
+
+  friend bool operator==(const RecordPair&, const RecordPair&) = default;
+};
+
+// Packs a pair into one 64-bit key (for hashing / set membership).
+inline uint64_t PairKey(const RecordPair& pair) {
+  return (static_cast<uint64_t>(pair.left) << 32) | pair.right;
+}
+
+// The set of truly matching pairs.
+class GroundTruth {
+ public:
+  void AddMatch(RecordPair pair) { matches_.insert(PairKey(pair)); }
+  bool IsMatch(RecordPair pair) const {
+    return matches_.count(PairKey(pair)) > 0;
+  }
+  size_t num_matches() const { return matches_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> matches_;
+};
+
+// A pair of aligned column indices (left table column, right table column).
+struct MatchedColumns {
+  int left_column = 0;
+  int right_column = 0;
+};
+
+// A complete EM task: two tables, the pre-aligned attribute pairs the
+// feature extractor operates on, and the ground-truth match set.
+struct EmDataset {
+  std::string name;
+  Table left;
+  Table right;
+  std::vector<MatchedColumns> matched_columns;
+  GroundTruth truth;
+
+  // Size of the Cartesian pair space.
+  uint64_t TotalPairs() const {
+    return static_cast<uint64_t>(left.num_rows()) * right.num_rows();
+  }
+
+  // Labels (1 = match) for a list of candidate pairs.
+  std::vector<int> LabelsFor(const std::vector<RecordPair>& pairs) const;
+
+  // Fraction of `pairs` that are matches (the post-blocking class skew of
+  // Table 1 when called on the blocked pair list).
+  double ClassSkew(const std::vector<RecordPair>& pairs) const;
+
+  // Aligns identically named columns of `left` and `right`; columns present
+  // in only one table are skipped.
+  static std::vector<MatchedColumns> AlignByName(const Table& left,
+                                                 const Table& right);
+};
+
+}  // namespace alem
+
+#endif  // ALEM_DATA_DATASET_H_

@@ -1,0 +1,68 @@
+#include "data/table.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace alem {
+
+Schema::Schema(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+const std::string& Schema::column(size_t i) const {
+  ALEM_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {}
+
+const Record& Table::row(size_t i) const {
+  ALEM_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+void Table::AddRow(Record row) {
+  ALEM_CHECK_EQ(row.size(), schema_.num_columns());
+  rows_.push_back(std::move(row));
+}
+
+std::string_view Table::Value(size_t row, size_t column) const {
+  ALEM_CHECK_LT(row, rows_.size());
+  if (column >= rows_[row].size()) return {};
+  return rows_[row][column];
+}
+
+bool Table::FromCsvFile(const std::string& path, Table* table) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ReadCsvFile(path, &rows)) return false;
+  if (rows.empty()) return false;
+
+  Table result{Schema(rows[0])};
+  const size_t arity = rows[0].size();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    // Tolerate ragged rows by padding/truncating to the header arity; real
+    // EM dataset dumps frequently have trailing-field irregularities.
+    rows[i].resize(arity);
+    result.AddRow(std::move(rows[i]));
+  }
+  *table = std::move(result);
+  return true;
+}
+
+bool Table::ToCsvFile(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(rows_.size() + 1);
+  rows.push_back(schema_.columns());
+  for (const Record& record : rows_) rows.push_back(record);
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace alem

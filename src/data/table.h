@@ -1,0 +1,68 @@
+// Relational primitives: Schema, Record, Table.
+//
+// A Table is a named schema plus string-valued rows. The EM pipeline treats
+// all attributes as strings (numeric attributes such as price are compared
+// through the string similarity functions, exactly as the paper's Simmetrics
+// setup does); missing values are empty strings.
+
+#ifndef ALEM_DATA_TABLE_H_
+#define ALEM_DATA_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alem {
+
+// Ordered list of column names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& column(size_t i) const;
+
+  // Index of `name`, or -1 when absent.
+  int IndexOf(std::string_view name) const;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+// One row; fields align with the owning table's schema.
+using Record = std::vector<std::string>;
+
+// A schema plus rows.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Record& row(size_t i) const;
+  const std::vector<Record>& rows() const { return rows_; }
+
+  // Appends a row; its arity must match the schema.
+  void AddRow(Record row);
+
+  // Field access; returns an empty view for out-of-range columns.
+  std::string_view Value(size_t row, size_t column) const;
+
+  // Loads a table from a CSV file whose first row is the header.
+  // Returns false on I/O or parse-shape failure.
+  static bool FromCsvFile(const std::string& path, Table* table);
+
+  // Writes the table (with header) to a CSV file.
+  bool ToCsvFile(const std::string& path) const;
+
+ private:
+  Schema schema_;
+  std::vector<Record> rows_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_DATA_TABLE_H_

@@ -1,0 +1,56 @@
+#include "features/boolean_features.h"
+
+#include "sim/similarity.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace alem {
+
+BooleanFeaturizer::BooleanFeaturizer(const FeatureExtractor& extractor) {
+  const std::vector<int>& rule_sims = RuleSimilarityIndices();
+  for (size_t column = 0; column < extractor.num_matched_columns(); ++column) {
+    for (const int sim_index : rule_sims) {
+      const size_t float_dim =
+          column * static_cast<size_t>(kNumSimilarityFunctions) +
+          static_cast<size_t>(sim_index);
+      for (int step = 1; step <= 10; ++step) {
+        const double threshold = 0.1 * step;
+        BooleanAtom atom;
+        atom.float_dim = float_dim;
+        atom.threshold = threshold;
+        atom.description = extractor.FeatureName(float_dim) + " >= " +
+                           FormatDouble(threshold, 1);
+        atoms_.push_back(std::move(atom));
+      }
+    }
+  }
+}
+
+const BooleanAtom& BooleanFeaturizer::atom(size_t i) const {
+  ALEM_CHECK_LT(i, atoms_.size());
+  return atoms_[i];
+}
+
+FeatureMatrix BooleanFeaturizer::Featurize(
+    const FeatureMatrix& float_features) const {
+  FeatureMatrix out(float_features.rows(), atoms_.size());
+  for (size_t row = 0; row < float_features.rows(); ++row) {
+    const float* in = float_features.Row(row);
+    float* out_row = out.MutableRow(row);
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      // A tiny epsilon keeps thresholds like 0.3 stable against float
+      // rounding of similarity values that are exactly at the boundary.
+      out_row[a] =
+          in[atoms_[a].float_dim] >= atoms_[a].threshold - 1e-9 ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+bool BooleanFeaturizer::Evaluate(size_t atom_index,
+                                 const float* float_row) const {
+  const BooleanAtom& atom = this->atom(atom_index);
+  return float_row[atom.float_dim] >= atom.threshold - 1e-9;
+}
+
+}  // namespace alem

@@ -1,0 +1,50 @@
+// Boolean featurization for rule-based learners.
+//
+// Rule models (Qian et al.) operate on Boolean atoms of the form
+//   sim(left.attr, right.attr) >= tau
+// with sim restricted to {equality, Jaro-Winkler, Jaccard} and tau swept over
+// a discrete grid in (0, 1] (Section 3 of the paper). This module derives
+// those atoms from an already extracted float feature matrix, so the
+// similarity computations are shared with the other learners.
+
+#ifndef ALEM_FEATURES_BOOLEAN_FEATURES_H_
+#define ALEM_FEATURES_BOOLEAN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_extractor.h"
+#include "features/feature_matrix.h"
+
+namespace alem {
+
+// One Boolean predicate: float feature `float_dim` >= `threshold`.
+struct BooleanAtom {
+  size_t float_dim = 0;
+  double threshold = 0.0;
+  std::string description;  // e.g. "Jaccard(name) >= 0.4"
+};
+
+class BooleanFeaturizer {
+ public:
+  // Builds the atom grid for the given extractor: for every matched column,
+  // every rule-supported similarity function, thresholds 0.1, 0.2, ..., 1.0.
+  explicit BooleanFeaturizer(const FeatureExtractor& extractor);
+
+  size_t num_atoms() const { return atoms_.size(); }
+  const std::vector<BooleanAtom>& atoms() const { return atoms_; }
+  const BooleanAtom& atom(size_t i) const;
+
+  // Converts float features to a 0/1 matrix with one column per atom.
+  FeatureMatrix Featurize(const FeatureMatrix& float_features) const;
+
+  // Evaluates a single atom against a float feature row.
+  bool Evaluate(size_t atom_index, const float* float_row) const;
+
+ private:
+  std::vector<BooleanAtom> atoms_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_FEATURES_BOOLEAN_FEATURES_H_

@@ -1,0 +1,96 @@
+#include "features/feature_extractor.h"
+
+#include "util/check.h"
+
+namespace alem {
+
+FeatureExtractor::FeatureExtractor(const EmDataset& dataset) {
+  const size_t num_columns = dataset.matched_columns.size();
+  ALEM_CHECK_GT(num_columns, 0u);
+  num_dims_ = static_cast<size_t>(kNumSimilarityFunctions) * num_columns;
+
+  left_profiles_.resize(num_columns);
+  right_profiles_.resize(num_columns);
+  column_names_.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    const MatchedColumns& mc = dataset.matched_columns[c];
+    column_names_.push_back(
+        dataset.left.schema().column(static_cast<size_t>(mc.left_column)));
+
+    left_profiles_[c].reserve(dataset.left.num_rows());
+    for (size_t row = 0; row < dataset.left.num_rows(); ++row) {
+      left_profiles_[c].push_back(AttributeProfile::Build(
+          dataset.left.Value(row, static_cast<size_t>(mc.left_column))));
+    }
+    right_profiles_[c].reserve(dataset.right.num_rows());
+    for (size_t row = 0; row < dataset.right.num_rows(); ++row) {
+      right_profiles_[c].push_back(AttributeProfile::Build(
+          dataset.right.Value(row, static_cast<size_t>(mc.right_column))));
+    }
+  }
+}
+
+const AttributeProfile& FeatureExtractor::LeftProfile(
+    uint32_t row, size_t column_pair) const {
+  ALEM_CHECK_LT(column_pair, left_profiles_.size());
+  ALEM_CHECK_LT(row, left_profiles_[column_pair].size());
+  return left_profiles_[column_pair][row];
+}
+
+const AttributeProfile& FeatureExtractor::RightProfile(
+    uint32_t row, size_t column_pair) const {
+  ALEM_CHECK_LT(column_pair, right_profiles_.size());
+  ALEM_CHECK_LT(row, right_profiles_[column_pair].size());
+  return right_profiles_[column_pair][row];
+}
+
+void FeatureExtractor::ExtractPair(const RecordPair& pair, float* out) const {
+  const auto& functions = AllSimilarityFunctions();
+  size_t dim = 0;
+  for (size_t c = 0; c < left_profiles_.size(); ++c) {
+    const AttributeProfile& left = LeftProfile(pair.left, c);
+    const AttributeProfile& right = RightProfile(pair.right, c);
+    for (const SimilarityFunction* function : functions) {
+      out[dim++] = static_cast<float>(function->Similarity(left, right));
+    }
+  }
+}
+
+float FeatureExtractor::ExtractDim(const RecordPair& pair, size_t dim) const {
+  ALEM_CHECK_LT(dim, num_dims_);
+  const size_t column_pair = dim / kNumSimilarityFunctions;
+  const size_t function_index = dim % kNumSimilarityFunctions;
+  const SimilarityFunction* function =
+      AllSimilarityFunctions()[function_index];
+  return static_cast<float>(function->Similarity(
+      LeftProfile(pair.left, column_pair),
+      RightProfile(pair.right, column_pair)));
+}
+
+FeatureMatrix FeatureExtractor::ExtractAll(
+    const std::vector<RecordPair>& pairs) const {
+  FeatureMatrix matrix(pairs.size(), num_dims_);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ExtractPair(pairs[i], matrix.MutableRow(i));
+  }
+  return matrix;
+}
+
+std::string FeatureExtractor::FeatureName(size_t dim) const {
+  ALEM_CHECK_LT(dim, num_dims_);
+  const size_t column_pair = dim / kNumSimilarityFunctions;
+  const size_t function_index = dim % kNumSimilarityFunctions;
+  return std::string(AllSimilarityFunctions()[function_index]->name()) + "(" +
+         column_names_[column_pair] + ")";
+}
+
+std::vector<std::string> FeatureExtractor::FeatureNames() const {
+  std::vector<std::string> names;
+  names.reserve(num_dims_);
+  for (size_t dim = 0; dim < num_dims_; ++dim) {
+    names.push_back(FeatureName(dim));
+  }
+  return names;
+}
+
+}  // namespace alem

@@ -1,0 +1,67 @@
+// Float feature extraction: 21 similarity functions x matched columns.
+//
+// Attribute profiles are computed once per record attribute at construction;
+// per-pair extraction then consists only of similarity evaluations. The
+// extractor also supports single-dimension extraction, which is what makes
+// the paper's selection-time blocking optimization (Section 5.1) meaningful:
+// the blocking dimension of an unlabeled pair can be evaluated without
+// constructing the full feature vector.
+
+#ifndef ALEM_FEATURES_FEATURE_EXTRACTOR_H_
+#define ALEM_FEATURES_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/feature_matrix.h"
+#include "sim/similarity.h"
+#include "text/profile.h"
+
+namespace alem {
+
+class FeatureExtractor {
+ public:
+  // Profiles every matched-column attribute of both tables. The dataset must
+  // outlive nothing — all needed state is copied into the extractor.
+  explicit FeatureExtractor(const EmDataset& dataset);
+
+  FeatureExtractor(const FeatureExtractor&) = delete;
+  FeatureExtractor& operator=(const FeatureExtractor&) = delete;
+
+  // Feature dimensionality: kNumSimilarityFunctions * #matched columns.
+  // Dimension d corresponds to similarity function (d % 21) applied to
+  // matched-column pair (d / 21).
+  size_t num_dims() const { return num_dims_; }
+
+  // Extracts the full feature vector of one pair into `out[0..num_dims)`.
+  void ExtractPair(const RecordPair& pair, float* out) const;
+
+  // Extracts a single feature dimension of one pair.
+  float ExtractDim(const RecordPair& pair, size_t dim) const;
+
+  // Extracts all pairs into a matrix (rows align with `pairs`).
+  FeatureMatrix ExtractAll(const std::vector<RecordPair>& pairs) const;
+
+  // Human-readable name of a dimension, e.g. "JaroWinkler(name)".
+  std::string FeatureName(size_t dim) const;
+
+  // All dimension names in order.
+  std::vector<std::string> FeatureNames() const;
+
+  size_t num_matched_columns() const { return column_names_.size(); }
+
+ private:
+  const AttributeProfile& LeftProfile(uint32_t row, size_t column_pair) const;
+  const AttributeProfile& RightProfile(uint32_t row, size_t column_pair) const;
+
+  size_t num_dims_ = 0;
+  // Profiles indexed [column_pair][row].
+  std::vector<std::vector<AttributeProfile>> left_profiles_;
+  std::vector<std::vector<AttributeProfile>> right_profiles_;
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_FEATURES_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,51 @@
+#include "features/feature_matrix.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace alem {
+
+FeatureMatrix::FeatureMatrix(size_t rows, size_t dims)
+    : rows_(rows), dims_(dims), data_(rows * dims, 0.0f) {}
+
+const float* FeatureMatrix::Row(size_t i) const {
+  ALEM_CHECK_LT(i, rows_);
+  return data_.data() + i * dims_;
+}
+
+float* FeatureMatrix::MutableRow(size_t i) {
+  ALEM_CHECK_LT(i, rows_);
+  return data_.data() + i * dims_;
+}
+
+float FeatureMatrix::At(size_t row, size_t dim) const {
+  ALEM_CHECK_LT(row, rows_);
+  ALEM_CHECK_LT(dim, dims_);
+  return data_[row * dims_ + dim];
+}
+
+void FeatureMatrix::Set(size_t row, size_t dim, float value) {
+  ALEM_CHECK_LT(row, rows_);
+  ALEM_CHECK_LT(dim, dims_);
+  data_[row * dims_ + dim] = value;
+}
+
+FeatureMatrix FeatureMatrix::Gather(
+    const std::vector<size_t>& row_indices) const {
+  FeatureMatrix out(row_indices.size(), dims_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    std::memcpy(out.MutableRow(i), Row(row_indices[i]),
+                dims_ * sizeof(float));
+  }
+  return out;
+}
+
+void FeatureMatrix::AppendRow(const std::vector<float>& row) {
+  if (rows_ == 0 && dims_ == 0) dims_ = row.size();
+  ALEM_CHECK_EQ(row.size(), dims_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+}  // namespace alem

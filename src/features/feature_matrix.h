@@ -1,0 +1,43 @@
+// Dense row-major feature matrix shared by all learners.
+
+#ifndef ALEM_FEATURES_FEATURE_MATRIX_H_
+#define ALEM_FEATURES_FEATURE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace alem {
+
+// A dense matrix of float features; rows are examples (record pairs),
+// columns are feature dimensions. Boolean featurizations store 0/1 floats so
+// every learner consumes the same type.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(size_t rows, size_t dims);
+
+  size_t rows() const { return rows_; }
+  size_t dims() const { return dims_; }
+  bool empty() const { return rows_ == 0; }
+
+  const float* Row(size_t i) const;
+  float* MutableRow(size_t i);
+  float At(size_t row, size_t dim) const;
+  void Set(size_t row, size_t dim, float value);
+
+  // Copies the given rows into a new matrix (used for bootstrap samples and
+  // train/test splits).
+  FeatureMatrix Gather(const std::vector<size_t>& row_indices) const;
+
+  // Appends one row (must have `dims()` entries; sets dims on first append).
+  void AppendRow(const std::vector<float>& row);
+
+ private:
+  size_t rows_ = 0;
+  size_t dims_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_FEATURES_FEATURE_MATRIX_H_

@@ -1,0 +1,98 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace alem {
+
+void LinearSvm::Fit(const FeatureMatrix& features,
+                    const std::vector<int>& labels) {
+  ALEM_CHECK_EQ(features.rows(), labels.size());
+  ALEM_CHECK_GT(features.rows(), 0u);
+  const size_t n = features.rows();
+  const size_t d = features.dims();
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < n; ++i) {
+    (labels[i] == 1 ? positives : negatives).push_back(i);
+  }
+  const bool balance =
+      config_.balance_classes && !positives.empty() && !negatives.empty();
+
+  Rng rng(config_.seed);
+  const double lambda = config_.lambda;
+  // Pegasos norm bound: the optimum satisfies ||w|| <= 1/sqrt(lambda).
+  const double norm_bound = 1.0 / std::sqrt(lambda);
+  const size_t steps = static_cast<size_t>(config_.epochs) * n;
+  for (size_t t = 1; t <= steps; ++t) {
+    size_t index;
+    if (balance) {
+      const std::vector<size_t>& pool =
+          rng.NextBernoulli(0.5) ? positives : negatives;
+      index = pool[rng.NextBelow(pool.size())];
+    } else {
+      index = static_cast<size_t>(rng.NextBelow(n));
+    }
+    const float* x = features.Row(index);
+    const double y = labels[index] == 1 ? 1.0 : -1.0;
+    const double eta =
+        1.0 / (lambda * static_cast<double>(t + config_.t0));
+
+    double dot = bias_;
+    for (size_t j = 0; j < d; ++j) dot += weights_[j] * x[j];
+
+    const double scale = 1.0 - eta * lambda;
+    for (size_t j = 0; j < d; ++j) weights_[j] *= scale;
+    if (y * dot < 1.0) {
+      for (size_t j = 0; j < d; ++j) weights_[j] += eta * y * x[j];
+      bias_ += eta * y;  // Bias is unregularized.
+    }
+    // Projection onto the ball of radius 1/sqrt(lambda).
+    double norm_squared = 0.0;
+    for (size_t j = 0; j < d; ++j) norm_squared += weights_[j] * weights_[j];
+    if (norm_squared > norm_bound * norm_bound) {
+      const double shrink = norm_bound / std::sqrt(norm_squared);
+      for (size_t j = 0; j < d; ++j) weights_[j] *= shrink;
+    }
+  }
+}
+
+double LinearSvm::Margin(const float* x) const {
+  ALEM_CHECK(trained());
+  double dot = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) dot += weights_[j] * x[j];
+  return dot;
+}
+
+int LinearSvm::Predict(const float* x) const { return Margin(x) > 0.0 ? 1 : 0; }
+
+std::vector<int> LinearSvm::PredictAll(const FeatureMatrix& features) const {
+  std::vector<int> predictions(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    predictions[i] = Predict(features.Row(i));
+  }
+  return predictions;
+}
+
+std::vector<size_t> LinearSvm::TopWeightDimensions(size_t k) const {
+  ALEM_CHECK(trained());
+  std::vector<size_t> order(weights_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [this](size_t a, size_t b) {
+                      return std::abs(weights_[a]) > std::abs(weights_[b]);
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace alem

@@ -1,0 +1,75 @@
+// Linear support vector machine trained with the Pegasos stochastic
+// sub-gradient algorithm (Shalev-Shwartz et al.).
+//
+// This is the framework's "linear classifier" (the paper uses Weka's SVM).
+// The trained weight vector and bias are exposed directly because both the
+// margin example selector and the selection-time blocking optimization of
+// Section 5.1 need them: margin = |w . x + b|, and the blocking dimensions
+// are the top-K features by |w|.
+
+#ifndef ALEM_ML_LINEAR_SVM_H_
+#define ALEM_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+
+namespace alem {
+
+struct LinearSvmConfig {
+  // Regularization strength (Pegasos lambda).
+  double lambda = 1e-2;
+  // Learning-rate warm start: the step counter begins at this value, so the
+  // first steps use eta = 1/(lambda * t0) instead of the enormous 1/lambda.
+  // Without it, the first sampled examples dominate the weight vector
+  // forever (multiplicative decay preserves weight ratios).
+  int t0 = 50;
+  // Number of passes over the training data.
+  int epochs = 60;
+  // When true, each SGD step samples a positive or negative example with
+  // equal probability, which counteracts the heavy class skew of EM pair
+  // spaces (equivalent to cost-sensitive hinge loss).
+  bool balance_classes = true;
+  uint64_t seed = 1;
+};
+
+class LinearSvm {
+ public:
+  LinearSvm() = default;
+  explicit LinearSvm(const LinearSvmConfig& config) : config_(config) {}
+
+  // Trains on rows of `features` with labels in {0, 1}. Retraining from
+  // scratch replaces the previous model.
+  void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Signed distance proxy: w . x + b (not normalized by ||w||; the margin
+  // selector only compares magnitudes so the scale cancels).
+  double Margin(const float* x) const;
+
+  // 1 if Margin(x) > 0 else 0.
+  int Predict(const float* x) const;
+  std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  bool trained() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  const LinearSvmConfig& config() const { return config_; }
+
+  // Indices of the `k` features with the largest |weight| — the blocking
+  // dimensions of Section 5.1. Requires a trained model.
+  std::vector<size_t> TopWeightDimensions(size_t k) const;
+
+ private:
+  friend std::string SerializeSvm(const LinearSvm& model);
+  friend bool DeserializeSvm(const std::string& text, LinearSvm* model);
+
+  LinearSvmConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_ML_LINEAR_SVM_H_

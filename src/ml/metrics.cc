@@ -1,0 +1,43 @@
+#include "ml/metrics.h"
+
+#include "util/check.h"
+
+namespace alem {
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& predictions,
+                                   const std::vector<int>& labels) {
+  ALEM_CHECK_EQ(predictions.size(), labels.size());
+  BinaryMetrics metrics;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool predicted = predictions[i] == 1;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) {
+      ++metrics.true_positives;
+    } else if (predicted && !actual) {
+      ++metrics.false_positives;
+    } else if (!predicted && actual) {
+      ++metrics.false_negatives;
+    } else {
+      ++metrics.true_negatives;
+    }
+  }
+  const size_t predicted_positives =
+      metrics.true_positives + metrics.false_positives;
+  const size_t actual_positives =
+      metrics.true_positives + metrics.false_negatives;
+  if (predicted_positives > 0) {
+    metrics.precision = static_cast<double>(metrics.true_positives) /
+                        static_cast<double>(predicted_positives);
+  }
+  if (actual_positives > 0) {
+    metrics.recall = static_cast<double>(metrics.true_positives) /
+                     static_cast<double>(actual_positives);
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace alem

@@ -1,0 +1,34 @@
+// Binary classification quality metrics.
+//
+// The paper evaluates EM quality with precision/recall/F1 over the positive
+// (matching) class, since accuracy is meaningless under the heavy class skew
+// of post-blocking pair spaces.
+
+#ifndef ALEM_ML_METRICS_H_
+#define ALEM_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace alem {
+
+struct BinaryMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+
+  // All three are 0 when undefined (no predicted / no actual positives).
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Computes metrics for the positive class (label 1). `predictions` and
+// `labels` must have equal size.
+BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& predictions,
+                                   const std::vector<int>& labels);
+
+}  // namespace alem
+
+#endif  // ALEM_ML_METRICS_H_

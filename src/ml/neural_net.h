@@ -1,0 +1,108 @@
+// Feed-forward neural network (the paper's non-convex non-linear learner).
+//
+// Architecture per Section 4.2.2: input -> affine -> ReLU -> batch
+// normalization -> dropout -> ... -> affine(1) -> sigmoid. The scalar affine
+// output is the *margin* in the sense of Nguyen & Sanner, which is what the
+// margin example selector consumes. Training uses L2 loss and SGD with
+// momentum; the paper's hyper-parameters are the defaults (50 epochs,
+// mini-batch 8, learning rate 0.001, decay 0.99, momentum 0.95, dropout of
+// half the hidden nodes).
+//
+// The number of hidden layers is configurable: one layer reproduces the
+// paper's network, two layers with more units implement the DeepMatcherProxy
+// used as the supervised deep-learning baseline of Fig. 16.
+
+#ifndef ALEM_ML_NEURAL_NET_H_
+#define ALEM_ML_NEURAL_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+
+namespace alem {
+
+struct NeuralNetConfig {
+  std::vector<int> hidden_sizes = {32};
+  int epochs = 50;
+  int batch_size = 8;
+  double learning_rate = 0.001;
+  double learning_rate_decay = 0.99;  // Per epoch.
+  double momentum = 0.95;
+  double dropout = 0.5;
+  bool use_batch_norm = true;
+  // Gradient weight multiplier for positive examples is
+  // min(#neg / #pos, positive_weight_cap); counteracts class skew.
+  double positive_weight_cap = 10.0;
+  uint64_t seed = 1;
+};
+
+class NeuralNetwork {
+ public:
+  NeuralNetwork() = default;
+  explicit NeuralNetwork(const NeuralNetConfig& config) : config_(config) {}
+
+  // Trains from scratch on labels in {0, 1}.
+  void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Pre-sigmoid affine output (inference mode: running batch-norm
+  // statistics, no dropout). |Margin| near 0 <=> output probability near
+  // 0.5 <=> maximally ambiguous example.
+  double Margin(const float* x) const;
+
+  // Sigmoid(Margin(x)).
+  double PredictProbability(const float* x) const;
+
+  // 1 if probability > 0.5.
+  int Predict(const float* x) const;
+  std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  bool trained() const { return !layers_.empty(); }
+  const NeuralNetConfig& config() const { return config_; }
+
+  // Per-input-dimension importance: the absolute-weight product propagated
+  // from the output back to each input (|W1|^T |gamma1| ... |w_out|). This
+  // generalizes the linear "top |weight| dimensions" idea and implements the
+  // paper's suggested blocking scheme for non-linear classifiers
+  // (Section 5.2, "include the largest weights for each exponent").
+  std::vector<double> InputImportances() const;
+
+  // Indices of the `k` inputs with the largest importance.
+  std::vector<size_t> TopImportanceDimensions(size_t k) const;
+
+ private:
+  friend std::string SerializeNeuralNet(const NeuralNetwork& model);
+  friend bool DeserializeNeuralNet(const std::string& text,
+                                   NeuralNetwork* model);
+
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    // Row-major [out x in] weights and [out] bias.
+    std::vector<double> weights, bias;
+    // Batch-norm parameters and running statistics, all [out].
+    std::vector<double> gamma, beta, running_mean, running_var;
+    // Momentum velocity buffers.
+    std::vector<double> v_weights, v_bias, v_gamma, v_beta;
+  };
+
+  void InitializeLayers(size_t input_dims);
+
+  NeuralNetConfig config_;
+  std::vector<Layer> layers_;  // Hidden layers.
+  // Output affine layer: [1 x last_hidden] weights + scalar bias.
+  std::vector<double> out_weights_;
+  double out_bias_ = 0.0;
+  std::vector<double> v_out_weights_;
+  double v_out_bias_ = 0.0;
+};
+
+// A deeper supervised network standing in for DeepMatcher (Mudgal et al.) in
+// the Fig. 16 comparison: two hidden layers of 64 units. DESIGN.md documents
+// this substitution.
+NeuralNetConfig DeepMatcherProxyConfig(uint64_t seed);
+
+}  // namespace alem
+
+#endif  // ALEM_ML_NEURAL_NET_H_

@@ -1,0 +1,74 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace alem {
+
+void RandomForest::Fit(const FeatureMatrix& features,
+                       const std::vector<int>& labels) {
+  ALEM_CHECK_EQ(features.rows(), labels.size());
+  ALEM_CHECK_GT(features.rows(), 0u);
+  ALEM_CHECK_GT(config_.num_trees, 0);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_trees));
+
+  Rng rng(config_.seed);
+  const size_t n = features.rows();
+  for (int t = 0; t < config_.num_trees; ++t) {
+    DecisionTreeConfig tree_config = config_.tree;
+    tree_config.seed = rng.Next();
+    DecisionTree tree(tree_config);
+    if (config_.bootstrap) {
+      const std::vector<size_t> sample = rng.SampleWithReplacement(n, n);
+      FeatureMatrix sampled = features.Gather(sample);
+      std::vector<int> sampled_labels(n);
+      for (size_t i = 0; i < n; ++i) sampled_labels[i] = labels[sample[i]];
+      tree.Fit(sampled, sampled_labels);
+    } else {
+      tree.Fit(features, labels);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PositiveFraction(const float* x) const {
+  ALEM_CHECK(trained());
+  size_t votes = 0;
+  for (const DecisionTree& tree : trees_) {
+    votes += static_cast<size_t>(tree.Predict(x));
+  }
+  return static_cast<double>(votes) / static_cast<double>(trees_.size());
+}
+
+int RandomForest::Predict(const float* x) const {
+  return PositiveFraction(x) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> RandomForest::PredictAll(const FeatureMatrix& features) const {
+  std::vector<int> predictions(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    predictions[i] = Predict(features.Row(i));
+  }
+  return predictions;
+}
+
+int RandomForest::MaxDepth() const {
+  int depth = 0;
+  for (const DecisionTree& tree : trees_) {
+    depth = std::max(depth, tree.depth());
+  }
+  return depth;
+}
+
+size_t RandomForest::TotalDnfAtoms() const {
+  size_t atoms = 0;
+  for (const DecisionTree& tree : trees_) {
+    atoms += tree.NumDnfAtoms();
+  }
+  return atoms;
+}
+
+}  // namespace alem

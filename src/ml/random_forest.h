@@ -1,0 +1,61 @@
+// Random forest: bagged ensemble of CART trees (Corleone settings).
+//
+// The forest doubles as a *learner-aware QBC committee* (Section 4.1.1 of
+// the paper): the per-tree votes on an unlabeled example give the positive
+// fraction Pi/C from which the committee variance Pi/C * (1 - Pi/C) is
+// computed, with no separate bootstrap committee construction.
+
+#ifndef ALEM_ML_RANDOM_FOREST_H_
+#define ALEM_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+#include "ml/decision_tree.h"
+
+namespace alem {
+
+struct RandomForestConfig {
+  // Corleone uses 10; the paper parameterizes this (2, 10, 20).
+  int num_trees = 10;
+  bool bootstrap = true;
+  DecisionTreeConfig tree;
+  uint64_t seed = 1;
+};
+
+class RandomForest {
+ public:
+  RandomForest() = default;
+  explicit RandomForest(const RandomForestConfig& config) : config_(config) {}
+
+  void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Fraction of trees voting positive (the committee agreement statistic).
+  double PositiveFraction(const float* x) const;
+
+  // Majority vote: 1 when at least half of the trees vote positive.
+  int Predict(const float* x) const;
+  std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  bool trained() const { return !trees_.empty(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  const RandomForestConfig& config() const { return config_; }
+
+  // Maximum depth across all trees (Fig. 18b).
+  int MaxDepth() const;
+  // Total #DNF atoms across all trees (Fig. 18a).
+  size_t TotalDnfAtoms() const;
+
+ private:
+  friend std::string SerializeForest(const RandomForest& model);
+  friend bool DeserializeForest(const std::string& text, RandomForest* model);
+
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_ML_RANDOM_FOREST_H_

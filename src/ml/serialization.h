@@ -1,0 +1,49 @@
+// Model persistence.
+//
+// Trained models serialize to a human-readable, line-oriented text format
+// (doubles at full round-trip precision), so an EM model learned in one
+// session can be shipped and applied in another without retraining. The
+// neural network serializes its inference state (weights, batch-norm running
+// statistics); optimizer state (momentum buffers) is deliberately dropped.
+//
+// Format stability: every blob starts with a model tag and a version line;
+// Deserialize rejects unknown tags/versions instead of guessing.
+
+#ifndef ALEM_ML_SERIALIZATION_H_
+#define ALEM_ML_SERIALIZATION_H_
+
+#include <string>
+
+#include "ml/decision_tree.h"
+#include "ml/dnf_rule.h"
+#include "ml/linear_svm.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+
+namespace alem {
+
+// Each Serialize* requires a trained model; each Deserialize* returns false
+// on malformed input and leaves `model` unspecified.
+
+std::string SerializeSvm(const LinearSvm& model);
+bool DeserializeSvm(const std::string& text, LinearSvm* model);
+
+std::string SerializeTree(const DecisionTree& model);
+bool DeserializeTree(const std::string& text, DecisionTree* model);
+
+std::string SerializeForest(const RandomForest& model);
+bool DeserializeForest(const std::string& text, RandomForest* model);
+
+std::string SerializeNeuralNet(const NeuralNetwork& model);
+bool DeserializeNeuralNet(const std::string& text, NeuralNetwork* model);
+
+std::string SerializeDnf(const Dnf& dnf);
+bool DeserializeDnf(const std::string& text, Dnf* dnf);
+
+// Convenience file wrappers.
+bool SaveToFile(const std::string& path, const std::string& blob);
+bool LoadFromFile(const std::string& path, std::string* blob);
+
+}  // namespace alem
+
+#endif  // ALEM_ML_SERIALIZATION_H_

@@ -1,0 +1,280 @@
+#include "sim/edit_based.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace alem {
+namespace {
+
+std::string_view Capped(const std::string& s) {
+  return std::string_view(s).substr(0, kMaxAlignmentLength);
+}
+
+}  // namespace
+
+namespace internal_edit {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+
+  std::vector<int> previous(m + 1);
+  std::vector<int> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int substitution = previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] =
+          std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+double JaroRaw(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+
+  const size_t window =
+      std::max<size_t>(1, std::max(n, m) / 2) - 1;  // Match window.
+  std::vector<bool> a_matched(n, false);
+  std::vector<bool> b_matched(m, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  const double dm = static_cast<double>(matches);
+  return (dm / n + dm / m + (dm - transpositions / 2.0) / dm) / 3.0;
+}
+
+double JaroWinklerRaw(std::string_view a, std::string_view b) {
+  const double jaro = JaroRaw(a, b);
+  constexpr double kPrefixScale = 0.1;
+  constexpr size_t kMaxPrefix = 4;
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), kMaxPrefix});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * kPrefixScale * (1.0 - jaro);
+}
+
+}  // namespace internal_edit
+
+double IdentitySimilarity::ComputeNonNull(const AttributeProfile& a,
+                                          const AttributeProfile& b) const {
+  return a.text == b.text ? 1.0 : 0.0;
+}
+
+double LevenshteinSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                             const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t max_len = std::max(sa.size(), sb.size());
+  if (max_len == 0) return 1.0;
+  const int distance = internal_edit::LevenshteinDistance(sa, sb);
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(max_len);
+}
+
+double DamerauLevenshteinSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  const size_t max_len = std::max(n, m);
+  if (max_len == 0) return 1.0;
+  if (n == 0 || m == 0) {
+    return 1.0 - static_cast<double>(std::max(n, m)) /
+                     static_cast<double>(max_len);
+  }
+
+  // Optimal string alignment: three rolling rows.
+  std::vector<int> two_back(m + 1);
+  std::vector<int> previous(m + 1);
+  std::vector<int> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = sa[i - 1] == sb[j - 1] ? 0 : 1;
+      int best = std::min({previous[j] + 1, current[j - 1] + 1,
+                           previous[j - 1] + cost});
+      if (i > 1 && j > 1 && sa[i - 1] == sb[j - 2] && sa[i - 2] == sb[j - 1]) {
+        best = std::min(best, two_back[j - 2] + 1);
+      }
+      current[j] = best;
+    }
+    std::swap(two_back, previous);
+    std::swap(previous, current);
+  }
+  return 1.0 -
+         static_cast<double>(previous[m]) / static_cast<double>(max_len);
+}
+
+double JaroSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                      const AttributeProfile& b) const {
+  return internal_edit::JaroRaw(a.text, b.text);
+}
+
+double JaroWinklerSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                             const AttributeProfile& b) const {
+  return internal_edit::JaroWinklerRaw(a.text, b.text);
+}
+
+double NeedlemanWunschSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  const double max_len = static_cast<double>(std::max(n, m));
+  if (max_len == 0) return 1.0;
+
+  constexpr double kGap = -1.0;
+  std::vector<double> previous(m + 1);
+  std::vector<double> current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = kGap * static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = kGap * static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const double match = sa[i - 1] == sb[j - 1] ? 1.0 : -1.0;
+      current[j] = std::max({previous[j - 1] + match, previous[j] + kGap,
+                             current[j - 1] + kGap});
+    }
+    std::swap(previous, current);
+  }
+  const double score = previous[m];
+  return (score + max_len) / (2.0 * max_len);
+}
+
+double SmithWatermanSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  const double min_len = static_cast<double>(std::min(n, m));
+  if (min_len == 0) return n == m ? 1.0 : 0.0;
+
+  constexpr double kGap = -0.5;
+  std::vector<double> previous(m + 1, 0.0);
+  std::vector<double> current(m + 1, 0.0);
+  double best = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = 0.0;
+    for (size_t j = 1; j <= m; ++j) {
+      const double match = sa[i - 1] == sb[j - 1] ? 1.0 : -1.0;
+      current[j] = std::max({0.0, previous[j - 1] + match, previous[j] + kGap,
+                             current[j - 1] + kGap});
+      best = std::max(best, current[j]);
+    }
+    std::swap(previous, current);
+  }
+  return best / min_len;
+}
+
+double SmithWatermanGotohSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  const double min_len = static_cast<double>(std::min(n, m));
+  if (min_len == 0) return n == m ? 1.0 : 0.0;
+
+  constexpr double kGapOpen = -0.5;
+  constexpr double kGapExtend = -0.25;
+  constexpr double kNegInf = -1e30;
+
+  // H: best local alignment score ending at (i, j).
+  // E: best ending with a gap in `a` (horizontal); F: gap in `b` (vertical).
+  std::vector<double> h_prev(m + 1, 0.0), h_cur(m + 1, 0.0);
+  std::vector<double> f_prev(m + 1, kNegInf), f_cur(m + 1, kNegInf);
+  double best = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    double e = kNegInf;
+    h_cur[0] = 0.0;
+    for (size_t j = 1; j <= m; ++j) {
+      e = std::max(e + kGapExtend, h_cur[j - 1] + kGapOpen);
+      f_cur[j] = std::max(f_prev[j] + kGapExtend, h_prev[j] + kGapOpen);
+      const double match = sa[i - 1] == sb[j - 1] ? 1.0 : -1.0;
+      h_cur[j] = std::max({0.0, h_prev[j - 1] + match, e, f_cur[j]});
+      best = std::max(best, h_cur[j]);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return best / min_len;
+}
+
+double LongestCommonSubsequenceSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  if (n + m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+
+  std::vector<int> previous(m + 1, 0);
+  std::vector<int> current(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      current[j] = sa[i - 1] == sb[j - 1]
+                       ? previous[j - 1] + 1
+                       : std::max(previous[j], current[j - 1]);
+    }
+    std::swap(previous, current);
+  }
+  return 2.0 * previous[m] / static_cast<double>(n + m);
+}
+
+double LongestCommonSubstringSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  const std::string_view sa = Capped(a.text);
+  const std::string_view sb = Capped(b.text);
+  const size_t n = sa.size();
+  const size_t m = sb.size();
+  const size_t max_len = std::max(n, m);
+  if (max_len == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+
+  std::vector<int> previous(m + 1, 0);
+  std::vector<int> current(m + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      current[j] = sa[i - 1] == sb[j - 1] ? previous[j - 1] + 1 : 0;
+      best = std::max(best, current[j]);
+    }
+    std::swap(previous, current);
+  }
+  return static_cast<double>(best) / static_cast<double>(max_len);
+}
+
+}  // namespace alem

@@ -1,0 +1,58 @@
+#include "sim/similarity.h"
+
+#include <memory>
+
+#include "sim/edit_based.h"
+#include "sim/qgram_based.h"
+#include "sim/token_based.h"
+#include "util/check.h"
+
+namespace alem {
+
+const std::vector<const SimilarityFunction*>& AllSimilarityFunctions() {
+  // Function-local static reference: initialized once, never destroyed
+  // (trivially-destructible static storage per the style guide).
+  static const auto& registry = *new std::vector<const SimilarityFunction*>{
+      new IdentitySimilarity(),                  // 0
+      new LevenshteinSimilarity(),               // 1
+      new DamerauLevenshteinSimilarity(),        // 2
+      new JaroSimilarity(),                      // 3
+      new JaroWinklerSimilarity(),               // 4
+      new NeedlemanWunschSimilarity(),           // 5
+      new SmithWatermanSimilarity(),             // 6
+      new SmithWatermanGotohSimilarity(),        // 7
+      new LongestCommonSubsequenceSimilarity(),  // 8
+      new LongestCommonSubstringSimilarity(),    // 9
+      new QGramSimilarity(),                     // 10
+      new CosineQGramSimilarity(),               // 11
+      new SimonWhiteSimilarity(),                // 12
+      new JaccardTokenSimilarity(),              // 13
+      new DiceTokenSimilarity(),                 // 14
+      new OverlapCoefficientSimilarity(),        // 15
+      new CosineTokenSimilarity(),               // 16
+      new MatchingCoefficientSimilarity(),       // 17
+      new BlockDistanceSimilarity(),             // 18
+      new EuclideanSimilarity(),                 // 19
+      new MongeElkanSimilarity(),                // 20
+  };
+  ALEM_CHECK_EQ(registry.size(),
+                static_cast<size_t>(kNumSimilarityFunctions));
+  return registry;
+}
+
+const std::vector<int>& RuleSimilarityIndices() {
+  // Equality, Jaro-Winkler, Jaccard — the three functions supported by the
+  // rule-based learner of Qian et al. (Section 3 of the paper).
+  static const auto& indices = *new std::vector<int>{0, 4, 13};
+  return indices;
+}
+
+int SimilarityIndexByName(std::string_view name) {
+  const auto& registry = AllSimilarityFunctions();
+  for (size_t i = 0; i < registry.size(); ++i) {
+    if (registry[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace alem

@@ -1,0 +1,63 @@
+// Similarity-function interface and registry.
+//
+// The paper's feature extractor applies the 21 similarity functions of the
+// Java Simmetrics library to every aligned attribute pair. This module
+// provides from-scratch implementations with uniform semantics:
+//   * results are clamped to [0, 1], 1 meaning "identical";
+//   * if either attribute value is null/missing, the similarity is 0
+//     (Section 3 of the paper);
+//   * functions consume pre-tokenized AttributeProfiles so tokenization cost
+//     is paid once per record attribute, not once per function call.
+
+#ifndef ALEM_SIM_SIMILARITY_H_
+#define ALEM_SIM_SIMILARITY_H_
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "text/profile.h"
+
+namespace alem {
+
+// Base class for all similarity functions.
+class SimilarityFunction {
+ public:
+  virtual ~SimilarityFunction() = default;
+
+  // Similarity in [0, 1]; 0 when either profile is null.
+  double Similarity(const AttributeProfile& a,
+                    const AttributeProfile& b) const {
+    if (a.is_null || b.is_null) return 0.0;
+    return std::clamp(ComputeNonNull(a, b), 0.0, 1.0);
+  }
+
+  // Stable, human-readable name (appears in feature and rule-atom names).
+  virtual std::string_view name() const = 0;
+
+ protected:
+  // Core computation; inputs are guaranteed non-null. May return slightly
+  // out-of-range values due to floating-point error; the caller clamps.
+  virtual double ComputeNonNull(const AttributeProfile& a,
+                                const AttributeProfile& b) const = 0;
+};
+
+// Number of similarity functions in the registry (matches the paper's 21).
+inline constexpr int kNumSimilarityFunctions = 21;
+
+// The full registry, in a stable order. Index i of a feature vector block
+// corresponds to AllSimilarityFunctions()[i]. The returned objects live for
+// the duration of the program.
+const std::vector<const SimilarityFunction*>& AllSimilarityFunctions();
+
+// Indices (into AllSimilarityFunctions) of the 3 functions supported by the
+// rule-based learner of Qian et al.: equality, Jaro-Winkler, and Jaccard
+// (Section 3 of the paper).
+const std::vector<int>& RuleSimilarityIndices();
+
+// Looks up a registry index by function name; returns -1 when absent.
+int SimilarityIndexByName(std::string_view name);
+
+}  // namespace alem
+
+#endif  // ALEM_SIM_SIMILARITY_H_

@@ -1,0 +1,527 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "synth/vocab.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace alem {
+namespace {
+
+// Shared context of a group of related-but-distinct entities: a product line
+// (same brand/category, common naming stem, shared marketing vocabulary), a
+// paper series (same venue and author group, overlapping title stems), or a
+// household (same last name and city). Within-family cross pairs survive
+// blocking and act as the hard negatives that give the synthetic datasets
+// their paper-like class skew.
+struct EntityFamily {
+  std::string brand, category, style, venue, publisher, city, last_name;
+  std::vector<std::string> shared_name_words;   // 1-2 tokens.
+  std::vector<std::string> shared_title_words;  // 2-3 tokens.
+  std::vector<std::string> description_pool;    // ~10 tokens.
+  std::vector<std::string> author_pool;         // 3-5 names.
+  double base_price = 100.0;
+};
+
+// Canonical (pre-rendering) state of one real-world entity.
+struct EntityCore {
+  std::string brand, model, category, style;
+  std::vector<std::string> name_words;         // Product-name tokens.
+  std::vector<std::string> description_words;  // Long-text tokens.
+  std::vector<std::string> title_words;        // Publication title tokens.
+  std::vector<std::string> authors;            // "first last" strings.
+  std::string venue, publisher, editor, city;
+  std::string first_name, last_name, occupation, email_domain;
+  char gender = 'm';
+  int year = 2000;
+  int volume = 1;
+  int page_start = 1, page_count = 10;
+  double price = 100.0, abv = 5.0, weight = 2.0;
+  int dim1 = 10, dim2 = 10, dim3 = 10;
+  bool discounted = false;
+};
+
+std::string PersonName(const Vocabulary& vocab, Rng& rng) {
+  return Vocabulary::Choose(vocab.first_names(), rng) + " " +
+         Vocabulary::Choose(vocab.last_names(), rng);
+}
+
+EntityFamily MakeFamily(const Vocabulary& vocab, Rng& rng) {
+  EntityFamily family;
+  family.brand = Vocabulary::Choose(vocab.brands(), rng);
+  family.category = Vocabulary::Choose(vocab.categories(), rng);
+  family.style = Vocabulary::Choose(vocab.categories(), rng);
+  family.venue = Vocabulary::Choose(vocab.venues(), rng);
+  family.publisher = Vocabulary::Choose(vocab.venues(), rng);
+  family.city = Vocabulary::Choose(vocab.cities(), rng);
+  family.last_name = Vocabulary::Choose(vocab.last_names(), rng);
+  const int name_stem = static_cast<int>(rng.NextInRange(1, 2));
+  for (int i = 0; i < name_stem; ++i) {
+    family.shared_name_words.push_back(
+        Vocabulary::Choose(vocab.filler(), rng));
+  }
+  const int title_stem = static_cast<int>(rng.NextInRange(2, 3));
+  for (int i = 0; i < title_stem; ++i) {
+    family.shared_title_words.push_back(
+        Vocabulary::Choose(vocab.filler(), rng));
+  }
+  const int pool = static_cast<int>(rng.NextInRange(8, 12));
+  for (int i = 0; i < pool; ++i) {
+    family.description_pool.push_back(Vocabulary::Choose(vocab.filler(), rng));
+  }
+  const int authors = static_cast<int>(rng.NextInRange(3, 5));
+  for (int i = 0; i < authors; ++i) {
+    family.author_pool.push_back(PersonName(vocab, rng));
+  }
+  family.base_price = 10.0 + rng.NextDouble() * rng.NextDouble() * 900.0;
+  return family;
+}
+
+EntityCore MakeEntity(const EntityFamily& family, const Vocabulary& vocab,
+                      double family_desc_share, Rng& rng) {
+  EntityCore core;
+  core.brand = family.brand;
+  core.category = family.category;
+  core.style = family.style;
+  core.model = vocab.MakeModelCode(rng);
+
+  core.name_words = family.shared_name_words;
+  const int unique_name = static_cast<int>(rng.NextInRange(1, 2));
+  for (int i = 0; i < unique_name; ++i) {
+    core.name_words.push_back(Vocabulary::Choose(vocab.filler(), rng));
+  }
+
+  const int description_words = static_cast<int>(rng.NextInRange(8, 16));
+  for (int i = 0; i < description_words; ++i) {
+    // A profile-controlled share of the marketing copy comes from the
+    // family's shared vocabulary.
+    core.description_words.push_back(
+        rng.NextBernoulli(family_desc_share)
+            ? Vocabulary::Choose(family.description_pool, rng)
+            : Vocabulary::Choose(vocab.filler(), rng));
+  }
+
+  core.title_words = family.shared_title_words;
+  const int unique_title = static_cast<int>(rng.NextInRange(3, 5));
+  for (int i = 0; i < unique_title; ++i) {
+    core.title_words.push_back(Vocabulary::Choose(vocab.filler(), rng));
+  }
+
+  const int authors = static_cast<int>(
+      rng.NextInRange(1, static_cast<int64_t>(family.author_pool.size())));
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      family.author_pool.size(), static_cast<size_t>(authors));
+  for (const size_t pick : picks) {
+    core.authors.push_back(family.author_pool[pick]);
+  }
+
+  core.venue = family.venue;
+  core.publisher = family.publisher;
+  core.editor = PersonName(vocab, rng);
+  core.city = family.city;
+  core.first_name = Vocabulary::Choose(vocab.first_names(), rng);
+  core.last_name = family.last_name;
+  core.occupation = Vocabulary::Choose(vocab.occupations(), rng);
+  core.email_domain = Vocabulary::Choose(vocab.filler(), rng);
+  core.gender = rng.NextBernoulli(0.5) ? 'm' : 'f';
+  core.year = static_cast<int>(rng.NextInRange(1985, 2015));
+  core.volume = static_cast<int>(rng.NextInRange(1, 40));
+  core.page_start = static_cast<int>(rng.NextInRange(1, 900));
+  core.page_count = static_cast<int>(rng.NextInRange(5, 25));
+  core.price = family.base_price * (0.5 + rng.NextDouble());
+  core.abv = 3.0 + rng.NextDouble() * 9.0;
+  core.weight = 0.5 + rng.NextDouble() * 20.0;
+  core.dim1 = static_cast<int>(rng.NextInRange(2, 40));
+  core.dim2 = static_cast<int>(rng.NextInRange(2, 40));
+  core.dim3 = static_cast<int>(rng.NextInRange(2, 40));
+  core.discounted = rng.NextBernoulli(0.3);
+  return core;
+}
+
+// The hardest negative: identical to `base` except for the model code and
+// small numeric shifts (the "same product, different model number" case).
+EntityCore MakeSibling(const EntityCore& base, const Vocabulary& vocab,
+                       Rng& rng) {
+  EntityCore sibling = base;
+  sibling.model = vocab.MakeModelCode(rng);
+  // Prices of sibling models sit close to the original, overlapping the
+  // price jitter of true matches.
+  sibling.price = base.price * (1.02 + rng.NextDouble() * 0.12);
+  sibling.year = base.year + static_cast<int>(rng.NextInRange(1, 3));
+  sibling.volume = base.volume + 1;
+  sibling.page_start = static_cast<int>(rng.NextInRange(1, 900));
+  sibling.abv = base.abv + 0.5 + rng.NextDouble();
+  sibling.dim1 = base.dim1 + static_cast<int>(rng.NextInRange(1, 6));
+  // Social domain: the sibling is a *family member* -- same last name, city,
+  // and email domain, but a different person (first name, occupation,
+  // derived email/url). Copying the person verbatim would create
+  // indistinguishable "non-matches" that no learner could ever separate.
+  sibling.first_name = Vocabulary::Choose(vocab.first_names(), rng);
+  sibling.occupation = Vocabulary::Choose(vocab.occupations(), rng);
+  sibling.gender = rng.NextBernoulli(0.5) ? 'm' : 'f';
+
+  // Replace a minority of name/title tokens; keep the rest as shared stem.
+  auto mutate_words = [&](std::vector<std::string>& words, double rate) {
+    for (std::string& word : words) {
+      if (rng.NextBernoulli(rate)) {
+        word = Vocabulary::Choose(vocab.filler(), rng);
+      }
+    }
+  };
+  mutate_words(sibling.name_words, 0.05);
+  mutate_words(sibling.title_words, 0.05);
+  for (size_t i = sibling.description_words.size() / 2;
+       i < sibling.description_words.size(); ++i) {
+    if (rng.NextBernoulli(0.3)) {
+      sibling.description_words[i] = Vocabulary::Choose(vocab.filler(), rng);
+    }
+  }
+  return sibling;
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  return Join(words, " ");
+}
+
+std::string CanonicalValue(const EntityCore& core, ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kName:
+      return core.brand + " " + JoinWords(core.name_words) + " " + core.model;
+    case ColumnKind::kDescription:
+      return core.brand + " " + JoinWords(core.name_words) + " " +
+             core.model + " " + JoinWords(core.description_words);
+    case ColumnKind::kShortText: {
+      std::vector<std::string> words(core.name_words);
+      const size_t take = std::min<size_t>(6, core.description_words.size());
+      words.insert(words.end(), core.description_words.begin(),
+                   core.description_words.begin() + static_cast<long>(take));
+      return JoinWords(words);
+    }
+    case ColumnKind::kBrand:
+      return core.brand;
+    case ColumnKind::kModel:
+      return core.model;
+    case ColumnKind::kPrice:
+      return FormatDouble(core.price, 2);
+    case ColumnKind::kCategory:
+      return core.category;
+    case ColumnKind::kTitle:
+      return JoinWords(core.title_words);
+    case ColumnKind::kAuthors:
+      return Join(core.authors, ", ");
+    case ColumnKind::kVenue:
+      return core.venue;
+    case ColumnKind::kYear:
+      return std::to_string(core.year);
+    case ColumnKind::kAddress:
+      return core.city;
+    case ColumnKind::kPublisher:
+      return core.publisher;
+    case ColumnKind::kEditor:
+      return core.editor;
+    case ColumnKind::kDate:
+      return std::to_string(1 + core.volume % 12) + "/" +
+             std::to_string(core.year);
+    case ColumnKind::kVolume:
+      return std::to_string(core.volume);
+    case ColumnKind::kPages:
+      return "pp " + std::to_string(core.page_start) + "-" +
+             std::to_string(core.page_start + core.page_count);
+    case ColumnKind::kPersonName:
+      return core.first_name + " " + core.last_name;
+    case ColumnKind::kEmail:
+      return core.first_name + "." + core.last_name + "@" +
+             core.email_domain + ".com";
+    case ColumnKind::kOccupation:
+      return core.occupation;
+    case ColumnKind::kGender:
+      return std::string(1, core.gender);
+    case ColumnKind::kUrl:
+      return "www." + core.last_name + core.first_name.substr(0, 1) + ".com";
+    case ColumnKind::kCity:
+      return core.city;
+    case ColumnKind::kAbv:
+      return FormatDouble(core.abv, 1);
+    case ColumnKind::kStyle:
+      return core.style;
+    case ColumnKind::kDimensions:
+      return std::to_string(core.dim1) + " x " + std::to_string(core.dim2) +
+             " x " + std::to_string(core.dim3);
+    case ColumnKind::kWeight:
+      return FormatDouble(core.weight, 1) + " lb";
+    case ColumnKind::kBoolean:
+      return core.discounted ? "1" : "0";
+  }
+  ALEM_CHECK(false);  // Unreachable: all enum values handled above.
+}
+
+bool IsNumericKind(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kPrice:
+    case ColumnKind::kYear:
+    case ColumnKind::kVolume:
+    case ColumnKind::kAbv:
+    case ColumnKind::kWeight:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Primary identifying columns are never nulled: losing them would drop the
+// matching pair at the blocking stage and make the pair unlabeled forever.
+bool IsPrimaryKind(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kName:
+    case ColumnKind::kTitle:
+    case ColumnKind::kPersonName:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void ApplyTypo(std::string& token, Rng& rng) {
+  if (token.empty()) return;
+  const size_t pos = rng.NextBelow(token.size());
+  switch (rng.NextBelow(3)) {
+    case 0:  // Substitute.
+      token[pos] = static_cast<char>('a' + rng.NextBelow(26));
+      break;
+    case 1:  // Delete.
+      token.erase(pos, 1);
+      break;
+    default:  // Insert.
+      token.insert(pos, 1, static_cast<char>('a' + rng.NextBelow(26)));
+      break;
+  }
+}
+
+std::string PerturbText(const std::string& value, ColumnKind kind,
+                        double strength, Rng& rng) {
+  std::vector<std::string> tokens = Split(value, ' ');
+  // Truncate the tail of long free text (catalog descriptions get cut off).
+  if ((kind == ColumnKind::kDescription || kind == ColumnKind::kShortText) &&
+      tokens.size() > 4 && rng.NextBernoulli(strength)) {
+    const size_t keep = std::max<size_t>(
+        4, tokens.size() -
+               static_cast<size_t>(rng.NextDouble() * strength *
+                                   static_cast<double>(tokens.size())));
+    tokens.resize(keep);
+  }
+  std::vector<std::string> output;
+  output.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (token.empty()) continue;
+    if (tokens.size() > 2 && rng.NextBernoulli(0.22 * strength)) {
+      continue;  // Drop token.
+    }
+    if (rng.NextBernoulli(0.30 * strength)) ApplyTypo(token, rng);
+    if (token.size() > 2 && rng.NextBernoulli(0.10 * strength)) {
+      token = token.substr(0, 1) + ".";  // Abbreviate.
+    }
+    output.push_back(std::move(token));
+  }
+  if (output.empty()) output.push_back("x");
+  // Occasionally swap two adjacent tokens (word-order variation).
+  if (output.size() >= 2 && rng.NextBernoulli(0.3 * strength)) {
+    const size_t i = rng.NextBelow(output.size() - 1);
+    std::swap(output[i], output[i + 1]);
+  }
+  return Join(output, " ");
+}
+
+std::string PerturbNumeric(const std::string& value, ColumnKind kind,
+                           double strength, Rng& rng) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str()) return value;
+  if (kind == ColumnKind::kYear) {
+    // Years occasionally off by one between catalogs.
+    if (rng.NextBernoulli(0.3 * strength)) {
+      return std::to_string(static_cast<int>(parsed) +
+                            (rng.NextBernoulli(0.5) ? 1 : -1));
+    }
+    return value;
+  }
+  double result = parsed;
+  if (rng.NextBernoulli(strength)) {
+    result *= 1.0 + (rng.NextDouble() - 0.5) * 0.08;  // +-4% jitter.
+  }
+  // Format variation: some catalogs round to integers.
+  if (rng.NextBernoulli(0.3 * strength)) {
+    return std::to_string(static_cast<long>(std::lround(result)));
+  }
+  return FormatDouble(result, kind == ColumnKind::kAbv ? 1 : 2);
+}
+
+std::string PerturbValue(const std::string& value, ColumnKind kind,
+                         double strength, Rng& rng) {
+  if (value.empty() || strength <= 0.0) return value;
+  if (kind == ColumnKind::kGender || kind == ColumnKind::kBoolean) {
+    return value;  // Single-token categorical flags stay intact.
+  }
+  if (IsNumericKind(kind)) return PerturbNumeric(value, kind, strength, rng);
+  return PerturbText(value, kind, strength, rng);
+}
+
+// Per-render noise shaping. Heterogeneous modes (Section "substitutions" in
+// DESIGN.md) multiply the base noise differently per column family, so
+// matched pairs fall into several clusters in similarity space: one cluster
+// has mangled names but clean descriptions, another clean names but
+// truncated/missing descriptions, a third moderate noise everywhere plus
+// strong price jitter. Tree ensembles carve these clusters out; a single
+// linear boundary cannot.
+struct NoisePlan {
+  double primary_mult = 1.0;   // kName/kTitle/kPersonName columns.
+  double longtext_mult = 1.0;  // kDescription/kShortText columns.
+  double numeric_mult = 1.0;   // Price-like columns.
+  double longtext_null = 0.0;  // Extra null probability for long text.
+};
+
+NoisePlan PickMode(bool heterogeneous, Rng& rng) {
+  NoisePlan plan;
+  if (!heterogeneous) return plan;
+  switch (rng.NextBelow(3)) {
+    case 0:  // Heavy name noise, trustworthy description.
+      plan.primary_mult = 3.8;
+      plan.longtext_mult = 0.4;
+      break;
+    case 1:  // Clean name, degraded/missing description.
+      plan.primary_mult = 0.35;
+      plan.longtext_mult = 2.8;
+      plan.longtext_null = 0.55;
+      break;
+    default:  // Moderate noise everywhere, unreliable numerics.
+      plan.primary_mult = 1.4;
+      plan.longtext_mult = 1.4;
+      plan.numeric_mult = 3.5;
+      break;
+  }
+  return plan;
+}
+
+bool IsLongTextKind(ColumnKind kind) {
+  return kind == ColumnKind::kDescription || kind == ColumnKind::kShortText;
+}
+
+Record RenderRecord(const EntityCore& core,
+                    const std::vector<ColumnSpec>& columns, double noise,
+                    double null_rate, const NoisePlan& plan, Rng& rng) {
+  Record record;
+  record.reserve(columns.size());
+  for (const ColumnSpec& column : columns) {
+    double column_null = null_rate;
+    double column_noise = noise;
+    if (IsPrimaryKind(column.kind)) {
+      column_noise *= plan.primary_mult;
+      column_null = 0.0;
+    } else if (IsLongTextKind(column.kind)) {
+      column_noise *= plan.longtext_mult;
+      column_null = std::min(1.0, null_rate + plan.longtext_null);
+    } else if (IsNumericKind(column.kind)) {
+      column_noise *= plan.numeric_mult;
+    }
+    column_noise = std::min(1.0, column_noise);
+    if (rng.NextBernoulli(column_null)) {
+      record.emplace_back();  // Missing value.
+      continue;
+    }
+    record.push_back(PerturbValue(CanonicalValue(core, column.kind),
+                                  column.kind, column_noise, rng));
+  }
+  return record;
+}
+
+int Scaled(int count, double scale) {
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+}  // namespace
+
+EmDataset GenerateDataset(const SynthProfile& profile, uint64_t seed,
+                          double scale) {
+  ALEM_CHECK(!profile.columns.empty());
+  ALEM_CHECK_GT(scale, 0.0);
+  ALEM_CHECK_GE(profile.family_size, 1);
+  const Vocabulary vocab(profile.vocab_seed);
+  Rng rng(seed);
+
+  std::vector<std::string> column_names;
+  column_names.reserve(profile.columns.size());
+  for (const ColumnSpec& column : profile.columns) {
+    column_names.push_back(column.name);
+  }
+  EmDataset dataset;
+  dataset.name = profile.name;
+  dataset.left = Table(Schema(column_names));
+  dataset.right = Table(Schema(column_names));
+  for (size_t c = 0; c < profile.columns.size(); ++c) {
+    dataset.matched_columns.push_back(
+        MatchedColumns{static_cast<int>(c), static_cast<int>(c)});
+  }
+
+  const int matched = Scaled(profile.num_matched_entities, scale);
+  const int left_only = Scaled(profile.num_left_only, scale);
+  const int right_only = Scaled(profile.num_right_only, scale);
+  const int total_entities = matched + left_only + right_only;
+
+  // All entities (matched, left-only, right-only) live in families so every
+  // record has plausible hard-negative neighbours.
+  EntityFamily family;
+  int family_members = 0;
+  auto next_entity = [&]() {
+    if (family_members == 0) family = MakeFamily(vocab, rng);
+    family_members = (family_members + 1) % profile.family_size;
+    return MakeEntity(family, vocab, profile.family_desc_share, rng);
+  };
+  (void)total_entities;
+
+  for (int e = 0; e < matched; ++e) {
+    const EntityCore core = next_entity();
+    const uint32_t left_index = static_cast<uint32_t>(dataset.left.num_rows());
+    dataset.left.AddRow(RenderRecord(core, profile.columns,
+                                     profile.left_noise, profile.null_rate,
+                                     NoisePlan{}, rng));
+    int copies = 1;
+    if (profile.max_right_copies > 1 &&
+        rng.NextBernoulli(profile.multi_match_rate)) {
+      copies = static_cast<int>(rng.NextInRange(2, profile.max_right_copies));
+    }
+    for (int c = 0; c < copies; ++c) {
+      const uint32_t right_index =
+          static_cast<uint32_t>(dataset.right.num_rows());
+      dataset.right.AddRow(RenderRecord(
+          core, profile.columns, profile.right_noise, profile.null_rate,
+          PickMode(profile.heterogeneous_modes, rng), rng));
+      dataset.truth.AddMatch(RecordPair{left_index, right_index});
+    }
+    if (rng.NextBernoulli(profile.sibling_rate)) {
+      const EntityCore sibling = MakeSibling(core, vocab, rng);
+      // Siblings render with *light* noise: a clean-looking, nearly
+      // identical non-match is the hardest negative.
+      dataset.right.AddRow(RenderRecord(sibling, profile.columns,
+                                        profile.left_noise,
+                                        profile.null_rate, NoisePlan{}, rng));
+    }
+  }
+  for (int e = 0; e < left_only; ++e) {
+    dataset.left.AddRow(RenderRecord(next_entity(), profile.columns,
+                                     profile.left_noise, profile.null_rate,
+                                     NoisePlan{}, rng));
+  }
+  for (int e = 0; e < right_only; ++e) {
+    dataset.right.AddRow(RenderRecord(
+        next_entity(), profile.columns, profile.right_noise,
+        profile.null_rate, PickMode(profile.heterogeneous_modes, rng), rng));
+  }
+  return dataset;
+}
+
+}  // namespace alem

@@ -1,0 +1,86 @@
+#include "synth/vocab.h"
+
+#include "util/check.h"
+
+namespace alem {
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "br", "c",  "cr", "d",  "dr",
+                                   "f",  "g",  "gr", "h",  "j",  "k",
+                                   "l",  "m",  "n",  "p",  "pr", "r",
+                                   "s",  "st", "t",  "tr", "v",  "z"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "io"};
+constexpr const char* kCodas[] = {"",  "n", "r", "s", "l", "x",
+                                  "t", "m", "k", "d", "v"};
+
+std::string MakeSyllable(Rng& rng) {
+  std::string s = kOnsets[rng.NextBelow(std::size(kOnsets))];
+  s += kNuclei[rng.NextBelow(std::size(kNuclei))];
+  s += kCodas[rng.NextBelow(std::size(kCodas))];
+  return s;
+}
+
+std::vector<std::string> MakePool(Rng& rng, size_t size, int min_syllables,
+                                  int max_syllables) {
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  while (pool.size() < size) {
+    std::string word;
+    const int syllables =
+        static_cast<int>(rng.NextInRange(min_syllables, max_syllables));
+    for (int s = 0; s < syllables; ++s) word += MakeSyllable(rng);
+    // Keep pools duplicate-free so pool index == distinct concept.
+    bool duplicate = false;
+    for (const std::string& existing : pool) {
+      if (existing == word) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) pool.push_back(std::move(word));
+  }
+  return pool;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(uint64_t seed) {
+  Rng rng(seed);
+  brands_ = MakePool(rng, 18, 2, 3);
+  categories_ = MakePool(rng, 14, 2, 3);
+  filler_ = MakePool(rng, 220, 1, 3);
+  first_names_ = MakePool(rng, 60, 2, 3);
+  last_names_ = MakePool(rng, 120, 2, 4);
+  venues_ = MakePool(rng, 16, 2, 4);
+  cities_ = MakePool(rng, 40, 2, 3);
+  occupations_ = MakePool(rng, 30, 2, 4);
+}
+
+std::string Vocabulary::MakeWord(Rng& rng) const {
+  std::string word;
+  const int syllables = static_cast<int>(rng.NextInRange(1, 3));
+  for (int s = 0; s < syllables; ++s) word += MakeSyllable(rng);
+  return word;
+}
+
+std::string Vocabulary::MakeModelCode(Rng& rng) const {
+  std::string code;
+  const int letters = static_cast<int>(rng.NextInRange(1, 3));
+  for (int i = 0; i < letters; ++i) {
+    code.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+  }
+  if (rng.NextBernoulli(0.3)) code.push_back('-');
+  const int digits = static_cast<int>(rng.NextInRange(2, 4));
+  for (int i = 0; i < digits; ++i) {
+    code.push_back(static_cast<char>('0' + rng.NextBelow(10)));
+  }
+  return code;
+}
+
+const std::string& Vocabulary::Choose(const std::vector<std::string>& pool,
+                                      Rng& rng) {
+  ALEM_CHECK(!pool.empty());
+  return pool[rng.NextBelow(pool.size())];
+}
+
+}  // namespace alem

@@ -1,0 +1,57 @@
+// Deterministic synthetic vocabulary pools.
+//
+// All strings in the synthetic EM datasets are drawn from pools generated
+// from a seeded RNG (pronounceable syllable words, alphanumeric model codes,
+// person names), so datasets are fully reproducible and contain no real-world
+// data. Pool sizes are deliberately small for brands/categories/venues: token
+// collisions across distinct entities are what make post-blocking
+// non-matches survive, which controls the class skew the paper reports in
+// Table 1.
+
+#ifndef ALEM_SYNTH_VOCAB_H_
+#define ALEM_SYNTH_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace alem {
+
+class Vocabulary {
+ public:
+  explicit Vocabulary(uint64_t seed);
+
+  // A pronounceable word of 2-4 syllables.
+  std::string MakeWord(Rng& rng) const;
+
+  // An alphanumeric model code like "kx450" or "dr-2200".
+  std::string MakeModelCode(Rng& rng) const;
+
+  const std::vector<std::string>& brands() const { return brands_; }
+  const std::vector<std::string>& categories() const { return categories_; }
+  const std::vector<std::string>& filler() const { return filler_; }
+  const std::vector<std::string>& first_names() const { return first_names_; }
+  const std::vector<std::string>& last_names() const { return last_names_; }
+  const std::vector<std::string>& venues() const { return venues_; }
+  const std::vector<std::string>& cities() const { return cities_; }
+  const std::vector<std::string>& occupations() const { return occupations_; }
+
+  // Uniform choice from a pool.
+  static const std::string& Choose(const std::vector<std::string>& pool,
+                                   Rng& rng);
+
+ private:
+  std::vector<std::string> brands_;
+  std::vector<std::string> categories_;
+  std::vector<std::string> filler_;
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<std::string> venues_;
+  std::vector<std::string> cities_;
+  std::vector<std::string> occupations_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_SYNTH_VOCAB_H_

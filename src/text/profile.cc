@@ -1,0 +1,103 @@
+#include "text/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace alem {
+
+CountedMultiset::CountedMultiset(const std::vector<std::string>& items) {
+  for (const std::string& item : items) {
+    ++counts_[item];
+    ++total_;
+  }
+  double sum_squares = 0.0;
+  for (const auto& [item, count] : counts_) {
+    sum_squares += static_cast<double>(count) * count;
+  }
+  norm_ = std::sqrt(sum_squares);
+}
+
+int CountedMultiset::CountOf(const std::string& item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int CountedMultiset::MultisetIntersection(const CountedMultiset& a,
+                                          const CountedMultiset& b) {
+  const CountedMultiset& small = a.counts_.size() <= b.counts_.size() ? a : b;
+  const CountedMultiset& large = a.counts_.size() <= b.counts_.size() ? b : a;
+  int intersection = 0;
+  for (const auto& [item, count] : small.counts_) {
+    intersection += std::min(count, large.CountOf(item));
+  }
+  return intersection;
+}
+
+int CountedMultiset::SetIntersection(const CountedMultiset& a,
+                                     const CountedMultiset& b) {
+  const CountedMultiset& small = a.counts_.size() <= b.counts_.size() ? a : b;
+  const CountedMultiset& large = a.counts_.size() <= b.counts_.size() ? b : a;
+  int intersection = 0;
+  for (const auto& [item, count] : small.counts_) {
+    (void)count;
+    if (large.CountOf(item) > 0) ++intersection;
+  }
+  return intersection;
+}
+
+double CountedMultiset::Dot(const CountedMultiset& a,
+                            const CountedMultiset& b) {
+  const CountedMultiset& small = a.counts_.size() <= b.counts_.size() ? a : b;
+  const CountedMultiset& large = a.counts_.size() <= b.counts_.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [item, count] : small.counts_) {
+    dot += static_cast<double>(count) * large.CountOf(item);
+  }
+  return dot;
+}
+
+int CountedMultiset::L1Distance(const CountedMultiset& a,
+                                const CountedMultiset& b) {
+  int distance = 0;
+  for (const auto& [item, count] : a.counts_) {
+    distance += std::abs(count - b.CountOf(item));
+  }
+  for (const auto& [item, count] : b.counts_) {
+    if (a.CountOf(item) == 0) distance += count;
+  }
+  return distance;
+}
+
+double CountedMultiset::SquaredL2Distance(const CountedMultiset& a,
+                                          const CountedMultiset& b) {
+  double distance = 0.0;
+  for (const auto& [item, count] : a.counts_) {
+    const double diff = count - b.CountOf(item);
+    distance += diff * diff;
+  }
+  for (const auto& [item, count] : b.counts_) {
+    if (a.CountOf(item) == 0) {
+      distance += static_cast<double>(count) * count;
+    }
+  }
+  return distance;
+}
+
+AttributeProfile AttributeProfile::Build(std::string_view raw) {
+  AttributeProfile profile;
+  const std::string_view stripped = StripAsciiWhitespace(raw);
+  if (stripped.empty()) {
+    return profile;  // is_null stays true.
+  }
+  profile.is_null = false;
+  profile.text = ToLowerAscii(stripped);
+  profile.tokens = TokenizeWords(profile.text);
+  profile.token_counts = CountedMultiset(profile.tokens);
+  profile.bigram_counts = CountedMultiset(QGrams(profile.text, 2));
+  return profile;
+}
+
+}  // namespace alem

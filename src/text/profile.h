@@ -1,0 +1,81 @@
+// AttributeProfile: a cached, pre-tokenized view of one attribute value.
+//
+// The feature extractor applies 21 similarity functions to every attribute
+// pair of every candidate record pair. Re-tokenizing the same attribute value
+// for each of those calls would dominate runtime, so each record attribute is
+// profiled exactly once (lower-cased string, word tokens, token multiset,
+// 2-gram multiset) and the similarity functions consume profiles.
+
+#ifndef ALEM_TEXT_PROFILE_H_
+#define ALEM_TEXT_PROFILE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace alem {
+
+// Sparse multiset of strings with cached aggregate statistics.
+class CountedMultiset {
+ public:
+  CountedMultiset() = default;
+  explicit CountedMultiset(const std::vector<std::string>& items);
+
+  const std::unordered_map<std::string, int>& counts() const {
+    return counts_;
+  }
+  // Total number of items, with multiplicity.
+  int total() const { return total_; }
+  // Number of distinct items.
+  size_t distinct() const { return counts_.size(); }
+  // Euclidean norm of the count vector.
+  double norm() const { return norm_; }
+
+  int CountOf(const std::string& item) const;
+
+  // Size of the multiset intersection (sum of min counts).
+  static int MultisetIntersection(const CountedMultiset& a,
+                                  const CountedMultiset& b);
+  // Number of distinct items present in both.
+  static int SetIntersection(const CountedMultiset& a,
+                             const CountedMultiset& b);
+  // Dot product of the two count vectors.
+  static double Dot(const CountedMultiset& a, const CountedMultiset& b);
+  // L1 distance between the count vectors.
+  static int L1Distance(const CountedMultiset& a, const CountedMultiset& b);
+  // Squared L2 distance between the count vectors.
+  static double SquaredL2Distance(const CountedMultiset& a,
+                                  const CountedMultiset& b);
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+  int total_ = 0;
+  double norm_ = 0.0;
+};
+
+// Pre-tokenized view of one attribute value.
+struct AttributeProfile {
+  // True when the source value was empty/missing; every similarity function
+  // evaluates to 0 against a null profile (Section 3 of the paper).
+  bool is_null = true;
+
+  // Lower-cased raw text.
+  std::string text;
+
+  // Word tokens, in order (for Monge-Elkan).
+  std::vector<std::string> tokens;
+
+  // Token multiset (for Jaccard/Dice/cosine/overlap/block/Euclidean).
+  CountedMultiset token_counts;
+
+  // Padded character 2-gram multiset (for the q-gram family).
+  CountedMultiset bigram_counts;
+
+  // Builds a profile; `raw` is stripped and lower-cased first.
+  static AttributeProfile Build(std::string_view raw);
+};
+
+}  // namespace alem
+
+#endif  // ALEM_TEXT_PROFILE_H_

@@ -1,0 +1,75 @@
+#include "text/soundex.h"
+
+#include <cctype>
+
+namespace alem {
+namespace {
+
+// Digit classes of the American Soundex algorithm; '0' marks vowels and the
+// ignored letters h/w/y.
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+}  // namespace
+
+std::string SoundexCode(std::string_view s) {
+  // Find the first alphabetic character.
+  size_t start = 0;
+  while (start < s.size() &&
+         std::isalpha(static_cast<unsigned char>(s[start])) == 0) {
+    ++start;
+  }
+  if (start == s.size()) return "";
+
+  const char first = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(s[start])));
+  std::string code(1, first);
+  char previous_digit = SoundexDigit(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(s[start]))));
+
+  for (size_t i = start + 1; i < s.size() && code.size() < 4; ++i) {
+    const unsigned char uc = static_cast<unsigned char>(s[i]);
+    if (std::isalpha(uc) == 0) break;  // Encode the first word only.
+    const char lower = static_cast<char>(std::tolower(uc));
+    const char digit = SoundexDigit(lower);
+    // h and w do not reset the previous digit; vowels do.
+    if (digit != '0') {
+      if (digit != previous_digit) code.push_back(digit);
+      previous_digit = digit;
+    } else if (lower != 'h' && lower != 'w') {
+      previous_digit = '0';
+    }
+  }
+  code.append(4 - code.size(), '0');
+  return code;
+}
+
+}  // namespace alem

@@ -1,0 +1,20 @@
+// American Soundex phonetic encoding. Included to round out the Simmetrics
+// function inventory; useful for name-heavy schemas (e.g., the social-media
+// profile dataset in Section 6.3.1).
+
+#ifndef ALEM_TEXT_SOUNDEX_H_
+#define ALEM_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace alem {
+
+// Returns the 4-character Soundex code of the first alphabetic word in `s`
+// (e.g., "Robert" -> "R163"). Returns an empty string when `s` contains no
+// alphabetic characters.
+std::string SoundexCode(std::string_view s);
+
+}  // namespace alem
+
+#endif  // ALEM_TEXT_SOUNDEX_H_

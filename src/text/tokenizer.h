@@ -1,0 +1,26 @@
+// Tokenization primitives used by the feature extractor and by offline
+// blocking. Mirrors the preprocessing of the paper's Java Simmetrics setup:
+// lower-case, split on non-alphanumeric characters, and (for the q-gram
+// family) pad with sentinel characters.
+
+#ifndef ALEM_TEXT_TOKENIZER_H_
+#define ALEM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alem {
+
+// Lower-cases and splits `text` on runs of non-alphanumeric ASCII characters.
+// Empty tokens are dropped.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+// Extracts padded character q-grams from the lower-cased input. The string is
+// padded with (q-1) '#' characters on both sides, so "ab" with q=2 yields
+// {"#a", "ab", "b#"}. An empty input yields no q-grams.
+std::vector<std::string> QGrams(std::string_view text, int q);
+
+}  // namespace alem
+
+#endif  // ALEM_TEXT_TOKENIZER_H_

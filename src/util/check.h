@@ -1,0 +1,43 @@
+// Lightweight runtime assertion macros.
+//
+// ALEM_CHECK fires in all build modes (unlike assert) and prints the failing
+// condition together with its source location before aborting. The library
+// uses it for programmer errors and precondition violations; recoverable
+// runtime failures are reported through return values instead.
+
+#ifndef ALEM_UTIL_CHECK_H_
+#define ALEM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace alem {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "ALEM_CHECK failed: %s at %s:%d\n", condition, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace alem
+
+// Aborts the process when `condition` evaluates to false.
+#define ALEM_CHECK(condition)                                             \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::alem::internal_check::CheckFailed(#condition, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)
+
+// Convenience comparison forms; they expand to ALEM_CHECK of the comparison.
+#define ALEM_CHECK_EQ(a, b) ALEM_CHECK((a) == (b))
+#define ALEM_CHECK_NE(a, b) ALEM_CHECK((a) != (b))
+#define ALEM_CHECK_LT(a, b) ALEM_CHECK((a) < (b))
+#define ALEM_CHECK_LE(a, b) ALEM_CHECK((a) <= (b))
+#define ALEM_CHECK_GT(a, b) ALEM_CHECK((a) > (b))
+#define ALEM_CHECK_GE(a, b) ALEM_CHECK((a) >= (b))
+
+#endif  // ALEM_UTIL_CHECK_H_

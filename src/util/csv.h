@@ -1,0 +1,33 @@
+// Minimal RFC-4180 CSV reader/writer.
+//
+// Supports quoted fields, embedded separators, doubled quotes, and embedded
+// newlines inside quoted fields — enough to round-trip the EM datasets the
+// benchmark consumes and emits.
+
+#ifndef ALEM_UTIL_CSV_H_
+#define ALEM_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alem {
+
+// Parses a full CSV document into rows of fields. Handles \r\n and \n line
+// endings. An empty input yields zero rows.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view content);
+
+// Serializes rows back to CSV, quoting fields only when necessary.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+// Reads `path` and parses it. Returns false on I/O failure.
+bool ReadCsvFile(const std::string& path,
+                 std::vector<std::vector<std::string>>* rows);
+
+// Writes rows to `path`. Returns false on I/O failure.
+bool WriteCsvFile(const std::string& path,
+                  const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_CSV_H_

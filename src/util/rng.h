@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the benchmark (bootstrap sampling, committee
+// tie-breaking, synthetic data generation, noisy oracles, neural-network
+// initialization) draw from Rng so that every experiment is exactly
+// reproducible from a 64-bit seed. The generator is xoshiro256**, seeded via
+// splitmix64, which is fast, high quality, and has no global state.
+
+#ifndef ALEM_UTIL_RNG_H_
+#define ALEM_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alem {
+
+// A small, copyable, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Gaussian (mean 0, stddev 1) via Box-Muller.
+  double NextGaussian();
+
+  // Bernoulli draw: true with probability `p`.
+  bool NextBernoulli(double p);
+
+  // Derives an independent child generator; useful to give each parallel
+  // component (e.g., each tree in a forest) its own stream.
+  Rng Fork();
+
+  // Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // `k` indices sampled uniformly without replacement from [0, n).
+  // Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // `k` indices sampled uniformly with replacement from [0, n).
+  std::vector<size_t> SampleWithReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_RNG_H_

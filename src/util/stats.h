@@ -1,0 +1,40 @@
+// Streaming mean / standard deviation accumulator (Welford's algorithm).
+// Used to average F1 curves over repeated noisy-oracle runs and to report
+// run-to-run standard deviations (Section 6.2 of the paper).
+
+#ifndef ALEM_UTIL_STATS_H_
+#define ALEM_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace alem {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  // Population variance; 0 for fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_STATS_H_

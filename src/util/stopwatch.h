@@ -1,0 +1,31 @@
+// Wall-clock timing used for the paper's latency metrics (committee-creation
+// time, example-scoring time, training time, user wait time).
+
+#ifndef ALEM_UTIL_STOPWATCH_H_
+#define ALEM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace alem {
+
+// Measures elapsed wall-clock seconds. Starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across the library.
+
+#ifndef ALEM_UTIL_STRING_UTIL_H_
+#define ALEM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alem {
+
+// ASCII lower-casing (the benchmark's normalization step; the public EM
+// datasets are ASCII-dominated and the paper's feature extractor does not do
+// full Unicode folding either).
+std::string ToLowerAscii(std::string_view s);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Formats a double with `digits` decimal places (locale independent).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_STRING_UTIL_H_

@@ -1,0 +1,203 @@
+// Tests for the alternative blocking implementations: the prefix-filtered
+// exact join (must be bit-identical to the baseline) and MinHash-LSH
+// (approximate: recall/precision properties + determinism).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "blocking/jaccard_blocking.h"
+#include "blocking/minhash_lsh.h"
+#include "ml/dnf_rule.h"
+#include "synth/generator.h"
+#include "synth/profiles.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// ---- Prefix-filtered exact join ----
+
+class PrefixEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixEquivalenceTest, IdenticalToBaseline) {
+  const std::vector<SynthProfile> profiles = AllPublicProfiles();
+  const SynthProfile& profile =
+      profiles[static_cast<size_t>(GetParam()) % profiles.size()];
+  const EmDataset dataset = GenerateDataset(profile, 23, 0.2);
+  const BlockingConfig config{profile.blocking_threshold};
+
+  const auto baseline = JaccardBlocking(dataset, config);
+  const auto prefix = JaccardBlockingPrefix(dataset, config);
+  ASSERT_EQ(prefix.size(), baseline.size()) << profile.name;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i], baseline[i]) << profile.name << " pair " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, PrefixEquivalenceTest,
+                         ::testing::Range(0, 9));
+
+TEST(PrefixBlockingTest, HighThresholdStillExact) {
+  const EmDataset dataset = GenerateDataset(AbtBuyProfile(), 5, 0.2);
+  for (const double threshold : {0.5, 0.8, 0.99}) {
+    const BlockingConfig config{threshold};
+    EXPECT_EQ(JaccardBlockingPrefix(dataset, config),
+              JaccardBlocking(dataset, config));
+  }
+}
+
+// ---- MinHash LSH ----
+
+TEST(MinHashTest, SignatureIsDeterministicAndOrderInvariant) {
+  using internal_minhash::Signature;
+  std::vector<uint64_t> seeds = {1, 2, 3, 4};
+  const std::vector<uint64_t> tokens_a = {10, 20, 30};
+  std::vector<uint64_t> tokens_shuffled = {30, 10, 20};
+  EXPECT_EQ(Signature(tokens_a, seeds), Signature(tokens_shuffled, seeds));
+  EXPECT_EQ(Signature(tokens_a, seeds), Signature(tokens_a, seeds));
+}
+
+TEST(MinHashTest, SignatureAgreementTracksJaccard) {
+  using internal_minhash::Signature;
+  Rng rng(7);
+  std::vector<uint64_t> seeds(256);
+  for (uint64_t& seed : seeds) seed = rng.Next();
+
+  // Two sets with Jaccard 0.5 (50 shared of 100 union).
+  std::vector<uint64_t> a, b;
+  for (uint64_t t = 0; t < 50; ++t) {
+    a.push_back(t);
+    b.push_back(t);
+  }
+  for (uint64_t t = 100; t < 125; ++t) a.push_back(t);
+  for (uint64_t t = 200; t < 225; ++t) b.push_back(t);
+  // Jaccard = 50 / 100 = 0.5.
+  const auto sig_a = Signature(a, seeds);
+  const auto sig_b = Signature(b, seeds);
+  size_t agreements = 0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    agreements += sig_a[i] == sig_b[i] ? 1 : 0;
+  }
+  const double rate = static_cast<double>(agreements) / seeds.size();
+  EXPECT_NEAR(rate, 0.5, 0.1);  // E[agreement] = Jaccard.
+}
+
+TEST(MinHashTest, CollisionProbabilityFormula) {
+  using internal_minhash::CollisionProbability;
+  EXPECT_NEAR(CollisionProbability(1.0, 16, 4), 1.0, 1e-12);
+  EXPECT_NEAR(CollisionProbability(0.0, 16, 4), 0.0, 1e-12);
+  // Monotone in s.
+  double previous = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const double p = CollisionProbability(s, 16, 4);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(MinHashTest, ConfigForThresholdCentersTheCurve) {
+  for (const double threshold : {0.1, 0.2, 0.5, 0.8}) {
+    const MinHashConfig config = ConfigForThreshold(threshold, 64);
+    const double midpoint =
+        std::pow(1.0 / config.num_bands, 1.0 / config.rows_per_band);
+    EXPECT_NEAR(midpoint, threshold, 0.15) << "threshold " << threshold;
+    EXPECT_LE(config.num_bands * config.rows_per_band, 64);
+  }
+}
+
+TEST(MinHashTest, VerifiedBlockingIsSubsetOfExactWithHighRecall) {
+  const SynthProfile profile = AbtBuyProfile();
+  const EmDataset dataset = GenerateDataset(profile, 9, 0.3);
+  const BlockingConfig exact_config{profile.blocking_threshold};
+  const auto exact = JaccardBlocking(dataset, exact_config);
+
+  MinHashConfig config = ConfigForThreshold(profile.blocking_threshold, 64);
+  config.verify = true;
+  const auto approximate = MinHashBlocking(dataset, config);
+
+  // Verified LSH output must be a subset of the exact join...
+  std::unordered_set<uint64_t> exact_keys;
+  for (const RecordPair& pair : exact) exact_keys.insert(PairKey(pair));
+  for (const RecordPair& pair : approximate) {
+    EXPECT_TRUE(exact_keys.count(PairKey(pair)) > 0);
+  }
+  // ... and recover the bulk of it (banding misses a tail near threshold).
+  EXPECT_GT(static_cast<double>(approximate.size()),
+            0.7 * static_cast<double>(exact.size()));
+}
+
+TEST(MinHashTest, UnverifiedSupersetsVerified) {
+  const EmDataset dataset = GenerateDataset(BeerProfile(), 3, 0.5);
+  MinHashConfig config = ConfigForThreshold(0.3, 32);
+  config.verify = false;
+  const auto raw = MinHashBlocking(dataset, config);
+  config.verify = true;
+  const auto verified = MinHashBlocking(dataset, config);
+  EXPECT_GE(raw.size(), verified.size());
+}
+
+TEST(MinHashTest, DeterministicInSeed) {
+  const EmDataset dataset = GenerateDataset(BeerProfile(), 3, 0.5);
+  const MinHashConfig config = ConfigForThreshold(0.26, 32);
+  EXPECT_EQ(MinHashBlocking(dataset, config),
+            MinHashBlocking(dataset, config));
+}
+
+TEST(MinHashTest, GroundTruthRecallIsHigh) {
+  const SynthProfile profile = DblpAcmProfile();
+  const EmDataset dataset = GenerateDataset(profile, 7, 0.4);
+  MinHashConfig config = ConfigForThreshold(profile.blocking_threshold, 64);
+  const auto pairs = MinHashBlocking(dataset, config);
+  EXPECT_GT(BlockingRecall(dataset, pairs), 0.9);
+}
+
+// ---- Dnf::Simplify ----
+
+TEST(DnfSimplifyTest, RemovesSupersetsAndDuplicates) {
+  Dnf dnf;
+  dnf.conjunctions.push_back(Conjunction{{1, 2}});
+  dnf.conjunctions.push_back(Conjunction{{1, 2, 3}});  // Superset: redundant.
+  dnf.conjunctions.push_back(Conjunction{{2, 1}});     // Duplicate (order).
+  dnf.conjunctions.push_back(Conjunction{{5}});
+  const size_t removed = dnf.Simplify();
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(dnf.conjunctions.size(), 2u);
+  EXPECT_EQ(dnf.conjunctions[0].atoms, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(dnf.conjunctions[1].atoms, (std::vector<size_t>{5}));
+}
+
+TEST(DnfSimplifyTest, PreservesSemantics) {
+  Rng rng(4);
+  Dnf dnf;
+  for (int c = 0; c < 8; ++c) {
+    Conjunction conjunction;
+    const int atoms = static_cast<int>(rng.NextInRange(1, 4));
+    for (int a = 0; a < atoms; ++a) {
+      conjunction.atoms.push_back(rng.NextBelow(6));
+    }
+    dnf.conjunctions.push_back(conjunction);
+  }
+  Dnf simplified = dnf;
+  simplified.Simplify();
+  // Exhaustively check all 2^6 boolean inputs.
+  for (int mask = 0; mask < 64; ++mask) {
+    float row[6];
+    for (int a = 0; a < 6; ++a) row[a] = (mask >> a) & 1 ? 1.0f : 0.0f;
+    EXPECT_EQ(dnf.Matches(row), simplified.Matches(row)) << mask;
+  }
+}
+
+TEST(DnfSimplifyTest, EmptyAndSingleton) {
+  Dnf empty;
+  EXPECT_EQ(empty.Simplify(), 0u);
+  Dnf single;
+  single.conjunctions.push_back(Conjunction{{0}});
+  EXPECT_EQ(single.Simplify(), 0u);
+  EXPECT_EQ(single.conjunctions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/active_ensemble.h"
+#include "core/evaluator.h"
+#include "core/learner.h"
+#include "core/oracle.h"
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// Two disjoint positive clusters; a single linear classifier can cover one
+// at high precision but not both, so an ensemble should accept more than one
+// member to reach high recall.
+struct Problem {
+  FeatureMatrix features;
+  std::vector<int> truth;
+};
+
+Problem MakeTwoClusterProblem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Problem problem;
+  problem.features = FeatureMatrix(n, 2);
+  problem.truth.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x, y;
+    int label;
+    switch (i % 10) {
+      case 0:  // Positive cluster A: high-x, low-y.
+        x = 0.85;
+        y = 0.15;
+        label = 1;
+        break;
+      case 1:  // Positive cluster B: low-x, high-y.
+        x = 0.15;
+        y = 0.85;
+        label = 1;
+        break;
+      default:  // Negatives: middle.
+        x = 0.45;
+        y = 0.45;
+        label = 0;
+        break;
+    }
+    problem.features.Set(i, 0,
+                         static_cast<float>(x + rng.NextGaussian() * 0.04));
+    problem.features.Set(i, 1,
+                         static_cast<float>(y + rng.NextGaussian() * 0.04));
+    problem.truth[i] = label;
+  }
+  return problem;
+}
+
+TEST(ActiveEnsembleTest, AcceptsMembersAndExcludesCoverage) {
+  const Problem problem = MakeTwoClusterProblem(600, 1);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner candidate{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveEnsembleConfig config;
+  config.base.max_labels = 200;
+  ActiveEnsembleLoop loop(candidate, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+
+  EXPECT_GE(loop.accepted_count(), 1u);
+  // Ensemble size is monotonically non-decreasing along the curve.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].ensemble_size, curve[i - 1].ensemble_size);
+  }
+}
+
+TEST(ActiveEnsembleTest, ReachesHighRecallOnTwoClusters) {
+  const Problem problem = MakeTwoClusterProblem(600, 2);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner candidate{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveEnsembleConfig config;
+  config.base.max_labels = 250;
+  ActiveEnsembleLoop loop(candidate, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+  double best_recall = 0.0;
+  for (const IterationStats& stats : curve) {
+    best_recall = std::max(best_recall, stats.metrics.recall);
+  }
+  EXPECT_GT(best_recall, 0.85);
+}
+
+TEST(ActiveEnsembleTest, PrecisionGateBlocksLowPrecisionCandidates) {
+  // Labels independent of features: no candidate should clear tau = 0.99.
+  Rng rng(3);
+  FeatureMatrix features(300, 2);
+  std::vector<int> truth(300);
+  for (size_t i = 0; i < 300; ++i) {
+    features.Set(i, 0, static_cast<float>(rng.NextDouble()));
+    features.Set(i, 1, static_cast<float>(rng.NextDouble()));
+    truth[i] = rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  ActivePool pool(features);
+  PerfectOracle oracle(truth);
+  ProgressiveEvaluator evaluator(truth);
+  SvmLearner candidate{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveEnsembleConfig config;
+  config.base.max_labels = 120;
+  config.precision_threshold = 0.99;
+  ActiveEnsembleLoop loop(candidate, selector, oracle, evaluator, config);
+  loop.Run(pool);
+  EXPECT_EQ(loop.accepted_count(), 0u);
+}
+
+TEST(ActiveEnsembleTest, StopsAtLabelBudget) {
+  const Problem problem = MakeTwoClusterProblem(500, 4);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner candidate{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveEnsembleConfig config;
+  config.base.max_labels = 80;
+  ActiveEnsembleLoop loop(candidate, selector, oracle, evaluator, config);
+  loop.Run(pool);
+  EXPECT_LE(pool.num_labeled(), 80u);
+}
+
+}  // namespace
+}  // namespace alem

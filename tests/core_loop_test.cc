@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/active_loop.h"
+#include "core/evaluator.h"
+#include "core/learner.h"
+#include "core/oracle.h"
+#include "core/pool.h"
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// A 2-D, mostly separable problem with 10% class skew (like EM pairs).
+struct Problem {
+  FeatureMatrix features;
+  std::vector<int> truth;
+};
+
+Problem MakeProblem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Problem problem;
+  problem.features = FeatureMatrix(n, 2);
+  problem.truth.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = i % 10 == 0;
+    const double center = positive ? 0.75 : 0.3;
+    problem.features.Set(
+        i, 0, static_cast<float>(center + rng.NextGaussian() * 0.07));
+    problem.features.Set(
+        i, 1, static_cast<float>(center + rng.NextGaussian() * 0.07));
+    problem.truth[i] = positive ? 1 : 0;
+  }
+  return problem;
+}
+
+TEST(SeedPoolTest, LabelsBothClasses) {
+  const Problem problem = MakeProblem(500, 1);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  const size_t labeled = SeedPool(pool, oracle, 30, 3);
+  EXPECT_GE(labeled, 30u);
+  const std::vector<int> labels = pool.ActiveLabeledLabels();
+  EXPECT_TRUE(std::count(labels.begin(), labels.end(), 1) > 0);
+  EXPECT_TRUE(std::count(labels.begin(), labels.end(), 0) > 0);
+}
+
+TEST(ActiveLearningLoopTest, F1ImprovesAndLabelsGrow) {
+  const Problem problem = MakeProblem(800, 2);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner learner{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveLearningConfig config;
+  config.max_labels = 150;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  const std::vector<IterationStats> curve = loop.Run(pool);
+
+  ASSERT_GE(curve.size(), 2u);
+  // Labels grow by the batch size each iteration.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].labels_used, curve[i - 1].labels_used + 10);
+  }
+  // Final F1 should be strong on this separable problem.
+  EXPECT_GT(curve.back().metrics.f1, 0.9);
+  EXPECT_LE(curve.back().labels_used, 150u);
+}
+
+TEST(ActiveLearningLoopTest, StopsAtMaxLabels) {
+  const Problem problem = MakeProblem(400, 3);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner learner{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveLearningConfig config;
+  config.max_labels = 60;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  loop.Run(pool);
+  EXPECT_LE(pool.num_labeled(), 60u);
+  EXPECT_LE(oracle.queries(), 60u);
+}
+
+TEST(ActiveLearningLoopTest, StopsAtTargetF1) {
+  const Problem problem = MakeProblem(600, 4);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  RandomForestConfig forest_config;
+  forest_config.num_trees = 10;
+  ForestLearner learner(forest_config);
+  ForestQbcSelector selector(5);
+  ActiveLearningConfig config;
+  config.max_labels = 500;
+  config.target_f1 = 0.95;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+  EXPECT_GE(curve.back().metrics.f1, 0.95);
+  EXPECT_LT(pool.num_labeled(), 500u);  // Stopped well before the budget.
+}
+
+TEST(ActiveLearningLoopTest, RecordsLatencyBreakdown) {
+  const Problem problem = MakeProblem(400, 5);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner learner{LinearSvmConfig{}};
+  QbcSelector selector(3, 7);
+  ActiveLearningConfig config;
+  config.max_labels = 70;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+  for (size_t i = 0; i + 1 < curve.size(); ++i) {
+    EXPECT_GT(curve[i].train_seconds, 0.0);
+    EXPECT_GT(curve[i].committee_seconds, 0.0);  // QBC builds committees.
+    EXPECT_GE(curve[i].wait_seconds,
+              curve[i].train_seconds + curve[i].committee_seconds);
+  }
+}
+
+TEST(ActiveLearningLoopTest, CollectsInterpretabilityForForests) {
+  const Problem problem = MakeProblem(400, 6);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  RandomForestConfig forest_config;
+  forest_config.num_trees = 5;
+  ForestLearner learner(forest_config);
+  ForestQbcSelector selector(2);
+  ActiveLearningConfig config;
+  config.max_labels = 60;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+  EXPECT_GT(curve.back().dnf_atoms, 0u);
+  EXPECT_GT(curve.back().tree_depth, 0);
+}
+
+TEST(ActiveLearningLoopTest, IncompatibleSelectorAborts) {
+  SvmLearner svm;
+  LfpLfnSelector selector;  // Rules-only.
+  PerfectOracle oracle({0, 1});
+  ProgressiveEvaluator evaluator({0, 1});
+  ActiveLearningConfig config;
+  EXPECT_DEATH(
+      { ActiveLearningLoop loop(svm, selector, oracle, evaluator, config); },
+      "CompatibleWith");
+}
+
+TEST(ActiveLearningLoopTest, HoldoutEvaluationNeverSelectsTestRows) {
+  const Problem problem = MakeProblem(500, 7);
+  ActivePool pool(problem.features);
+  // Hold out the first 100 rows.
+  std::vector<size_t> test_rows(100);
+  std::vector<int> test_truth(100);
+  for (size_t i = 0; i < 100; ++i) {
+    test_rows[i] = i;
+    test_truth[i] = problem.truth[i];
+    pool.Exclude(i);
+  }
+  HoldoutEvaluator evaluator(test_rows, test_truth);
+  PerfectOracle oracle(problem.truth);
+  SvmLearner learner{LinearSvmConfig{}};
+  MarginSelector selector;
+  ActiveLearningConfig config;
+  config.max_labels = 100;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  loop.Run(pool);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(pool.IsLabeled(i)) << "test row " << i << " was labeled";
+  }
+}
+
+}  // namespace
+}  // namespace alem

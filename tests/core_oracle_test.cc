@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+
+namespace alem {
+namespace {
+
+std::vector<int> MakeTruth(size_t n) {
+  std::vector<int> truth(n);
+  for (size_t i = 0; i < n; ++i) truth[i] = i % 3 == 0 ? 1 : 0;
+  return truth;
+}
+
+TEST(PerfectOracleTest, ReturnsGroundTruth) {
+  const std::vector<int> truth = MakeTruth(30);
+  PerfectOracle oracle(truth);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(oracle.Label(i), truth[i]);
+  }
+  EXPECT_EQ(oracle.queries(), truth.size());
+}
+
+TEST(NoisyOracleTest, ZeroNoiseEqualsPerfect) {
+  const std::vector<int> truth = MakeTruth(50);
+  NoisyOracle oracle(truth, 0.0, 1);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(oracle.Label(i), truth[i]);
+  }
+}
+
+TEST(NoisyOracleTest, FlipRateApproximatelyMatchesNoise) {
+  const size_t n = 20000;
+  const std::vector<int> truth = MakeTruth(n);
+  NoisyOracle oracle(truth, 0.3, 42);
+  size_t flips = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (oracle.Label(i) != truth[i]) ++flips;
+  }
+  const double rate = static_cast<double>(flips) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(NoisyOracleTest, RepeatedQueriesAreConsistent) {
+  const std::vector<int> truth = MakeTruth(200);
+  NoisyOracle oracle(truth, 0.4, 7);
+  std::vector<int> first(200);
+  for (size_t i = 0; i < 200; ++i) first[i] = oracle.Label(i);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(oracle.Label(i), first[i]) << "row " << i;
+  }
+}
+
+TEST(NoisyOracleTest, DeterministicPerSeedAndQueryOrder) {
+  const std::vector<int> truth = MakeTruth(100);
+  NoisyOracle a(truth, 0.25, 99);
+  NoisyOracle b(truth, 0.25, 99);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Label(i), b.Label(i));
+  }
+}
+
+TEST(NoisyOracleTest, FullNoiseInvertsEverything) {
+  const std::vector<int> truth = MakeTruth(50);
+  NoisyOracle oracle(truth, 1.0, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(oracle.Label(i), 1 - truth[i]);
+  }
+}
+
+TEST(OracleTest, QueryCounting) {
+  const std::vector<int> truth = MakeTruth(10);
+  NoisyOracle oracle(truth, 0.1, 5);
+  EXPECT_EQ(oracle.queries(), 0u);
+  oracle.Label(0);
+  oracle.Label(0);
+  oracle.Label(1);
+  EXPECT_EQ(oracle.queries(), 3u);
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/learner.h"
+#include "core/pool.h"
+#include "core/selector.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// Pool over 1-D features in [0, 1]; a linear boundary at 0.5 makes margins
+// directly interpretable.
+ActivePool MakeLinePool(size_t n) {
+  FeatureMatrix features(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    features.Set(i, 0, static_cast<float>(i) / static_cast<float>(n - 1));
+  }
+  return ActivePool(std::move(features));
+}
+
+void LabelEndpoints(ActivePool& pool, size_t n) {
+  // Label a few points at each extreme so learners have both classes.
+  for (size_t i = 0; i < 5; ++i) {
+    pool.AddLabel(i, 0);
+    pool.AddLabel(n - 1 - i, 1);
+  }
+}
+
+SvmLearner TrainedSvm(const ActivePool& pool) {
+  SvmLearner learner{LinearSvmConfig{}};
+  learner.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+  return learner;
+}
+
+// ---- Compatibility matrix (Fig. 2) ----
+
+TEST(SelectorCompatibilityTest, MatchesClassHierarchy) {
+  SvmLearner svm;
+  NeuralNetLearner nn;
+  ForestLearner forest;
+  RuleLearner rules;
+
+  MarginSelector margin;
+  EXPECT_TRUE(margin.CompatibleWith(svm));
+  EXPECT_TRUE(margin.CompatibleWith(nn));
+  EXPECT_FALSE(margin.CompatibleWith(forest));
+  EXPECT_FALSE(margin.CompatibleWith(rules));
+
+  QbcSelector qbc(2, 1);
+  EXPECT_TRUE(qbc.CompatibleWith(svm));
+  EXPECT_TRUE(qbc.CompatibleWith(nn));
+  EXPECT_TRUE(qbc.CompatibleWith(forest));
+  EXPECT_TRUE(qbc.CompatibleWith(rules));
+
+  ForestQbcSelector forest_qbc(1);
+  EXPECT_FALSE(forest_qbc.CompatibleWith(svm));
+  EXPECT_TRUE(forest_qbc.CompatibleWith(forest));
+
+  LfpLfnSelector lfp_lfn;
+  EXPECT_TRUE(lfp_lfn.CompatibleWith(rules));
+  EXPECT_FALSE(lfp_lfn.CompatibleWith(svm));
+  EXPECT_FALSE(lfp_lfn.CompatibleWith(forest));
+
+  RandomSelector random(1);
+  EXPECT_TRUE(random.CompatibleWith(svm));
+  EXPECT_TRUE(random.CompatibleWith(rules));
+}
+
+// ---- RandomSelector ----
+
+TEST(RandomSelectorTest, SelectsRequestedCountWithoutDuplicates) {
+  ActivePool pool = MakeLinePool(100);
+  LabelEndpoints(pool, 100);
+  SvmLearner learner = TrainedSvm(pool);
+  RandomSelector selector(3);
+  const std::vector<size_t> batch = selector.Select(learner, pool, 10, nullptr);
+  EXPECT_EQ(batch.size(), 10u);
+  std::set<size_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const size_t row : batch) {
+    EXPECT_FALSE(pool.IsLabeled(row));
+  }
+}
+
+TEST(RandomSelectorTest, CapsAtUnlabeledCount) {
+  ActivePool pool = MakeLinePool(12);
+  LabelEndpoints(pool, 12);  // 10 labeled, 2 left.
+  SvmLearner learner = TrainedSvm(pool);
+  RandomSelector selector(3);
+  EXPECT_EQ(selector.Select(learner, pool, 10, nullptr).size(), 2u);
+}
+
+// ---- MarginSelector ----
+
+TEST(MarginSelectorTest, PicksExamplesClosestToBoundary) {
+  const size_t n = 101;
+  ActivePool pool = MakeLinePool(n);
+  LabelEndpoints(pool, n);
+  SvmLearner learner = TrainedSvm(pool);
+
+  MarginSelector selector;
+  SelectionTiming timing;
+  const std::vector<size_t> batch = selector.Select(learner, pool, 5, &timing);
+  ASSERT_EQ(batch.size(), 5u);
+  EXPECT_EQ(timing.scored_examples, pool.unlabeled_rows().size());
+
+  // All selected rows must have margins no larger than every unselected one.
+  double max_selected = 0.0;
+  for (const size_t row : batch) {
+    max_selected = std::max(
+        max_selected, std::abs(learner.Margin(pool.features().Row(row))));
+  }
+  for (const size_t row : pool.unlabeled_rows()) {
+    if (std::find(batch.begin(), batch.end(), row) != batch.end()) continue;
+    EXPECT_GE(std::abs(learner.Margin(pool.features().Row(row))) + 1e-12,
+              max_selected);
+  }
+}
+
+TEST(MarginSelectorTest, BlockingPrunesZeroDimensionExamples) {
+  // Two features; feature 0 carries the signal, feature 1 is noise. Give
+  // some rows an all-zero signal dimension.
+  const size_t n = 60;
+  FeatureMatrix features(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    features.Set(i, 0, i % 3 == 0 ? 0.0f : (i < n / 2 ? 0.2f : 0.9f));
+    features.Set(i, 1, 0.5f);
+  }
+  ActivePool pool(std::move(features));
+  for (size_t i = 0; i < 6; ++i) {
+    pool.AddLabel(1 + i, 0);          // Low-signal rows.
+    pool.AddLabel(n - 1 - i, 1);      // High-signal rows.
+  }
+  SvmLearner learner = TrainedSvm(pool);
+
+  MarginSelector blocking_selector(/*blocking_dims=*/1);
+  SelectionTiming timing;
+  const std::vector<size_t> batch =
+      blocking_selector.Select(learner, pool, 5, &timing);
+  EXPECT_GT(timing.pruned_examples, 0u);
+  EXPECT_EQ(timing.pruned_examples + timing.scored_examples,
+            pool.unlabeled_rows().size());
+  // Pruned rows (feature0 == 0) must not be selected.
+  for (const size_t row : batch) {
+    EXPECT_NE(pool.features().At(row, 0), 0.0f);
+  }
+}
+
+TEST(MarginSelectorTest, NoBlockingScoresEverything) {
+  ActivePool pool = MakeLinePool(50);
+  LabelEndpoints(pool, 50);
+  SvmLearner learner = TrainedSvm(pool);
+  MarginSelector selector(0);
+  SelectionTiming timing;
+  selector.Select(learner, pool, 5, &timing);
+  EXPECT_EQ(timing.pruned_examples, 0u);
+  EXPECT_EQ(timing.scored_examples, pool.unlabeled_rows().size());
+}
+
+// ---- QbcSelector ----
+
+TEST(QbcSelectorTest, ReportsCommitteeAndScoringTime) {
+  ActivePool pool = MakeLinePool(80);
+  LabelEndpoints(pool, 80);
+  SvmLearner learner = TrainedSvm(pool);
+  QbcSelector selector(4, 11);
+  SelectionTiming timing;
+  const std::vector<size_t> batch = selector.Select(learner, pool, 5, &timing);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_GT(timing.committee_seconds, 0.0);
+  EXPECT_GE(timing.scoring_seconds, 0.0);
+  EXPECT_EQ(timing.scored_examples, pool.unlabeled_rows().size());
+}
+
+TEST(QbcSelectorTest, PrefersDisagreementRegion) {
+  // The ambiguous region of a 1-D threshold problem is the middle; QBC picks
+  // should concentrate closer to the boundary than random expectation.
+  const size_t n = 201;
+  ActivePool pool = MakeLinePool(n);
+  LabelEndpoints(pool, n);
+  SvmLearner learner = TrainedSvm(pool);
+  QbcSelector selector(8, 5);
+  const std::vector<size_t> batch = selector.Select(learner, pool, 10, nullptr);
+  double mean_distance = 0.0;
+  for (const size_t row : batch) {
+    mean_distance += std::abs(pool.features().At(row, 0) - 0.5f);
+  }
+  mean_distance /= static_cast<double>(batch.size());
+  EXPECT_LT(mean_distance, 0.25);  // Random selection would average ~0.25+.
+}
+
+TEST(QbcSelectorTest, WorksWithForestLearner) {
+  ActivePool pool = MakeLinePool(60);
+  LabelEndpoints(pool, 60);
+  RandomForestConfig config;
+  config.num_trees = 3;
+  ForestLearner learner(config);
+  learner.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+  QbcSelector selector(3, 2);
+  EXPECT_EQ(selector.Select(learner, pool, 4, nullptr).size(), 4u);
+}
+
+// ---- ForestQbcSelector ----
+
+TEST(ForestQbcSelectorTest, ZeroCommitteeTime) {
+  ActivePool pool = MakeLinePool(100);
+  LabelEndpoints(pool, 100);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  ForestLearner learner(config);
+  learner.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+
+  ForestQbcSelector selector(9);
+  SelectionTiming timing;
+  const std::vector<size_t> batch = selector.Select(learner, pool, 5, &timing);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(timing.committee_seconds, 0.0);
+  EXPECT_EQ(timing.scored_examples, pool.unlabeled_rows().size());
+}
+
+TEST(ForestQbcSelectorTest, SelectsMaximumVarianceExamples) {
+  ActivePool pool = MakeLinePool(100);
+  LabelEndpoints(pool, 100);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  ForestLearner learner(config);
+  learner.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+
+  ForestQbcSelector selector(9);
+  const std::vector<size_t> batch = selector.Select(learner, pool, 3, nullptr);
+  double min_selected_variance = 1.0;
+  for (const size_t row : batch) {
+    const double p = learner.PositiveFraction(pool.features().Row(row));
+    min_selected_variance = std::min(min_selected_variance, p * (1 - p));
+  }
+  // No unselected example may exceed the lowest selected variance.
+  for (const size_t row : pool.unlabeled_rows()) {
+    if (std::find(batch.begin(), batch.end(), row) != batch.end()) continue;
+    const double p = learner.PositiveFraction(pool.features().Row(row));
+    EXPECT_LE(p * (1 - p), min_selected_variance + 1e-12);
+  }
+}
+
+// ---- LfpLfnSelector ----
+
+TEST(LfpLfnSelectorTest, BootstrapModeSelectsMostSimilar) {
+  // Untrained/empty DNF: the selector should propose high-proxy rows.
+  FeatureMatrix features(20, 4);
+  for (size_t i = 0; i < 20; ++i) {
+    // Rows 15..19 satisfy all atoms; the rest none.
+    for (size_t a = 0; a < 4; ++a) {
+      features.Set(i, a, i >= 15 ? 1.0f : 0.0f);
+    }
+  }
+  ActivePool pool(std::move(features));
+  RuleLearner learner;
+  // Train on something trivial so trained() holds but no rule is learned.
+  FeatureMatrix empty_features(2, 4);
+  learner.Fit(empty_features, {0, 0});
+
+  LfpLfnSelector selector;
+  const std::vector<size_t> batch = selector.Select(learner, pool, 3, nullptr);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const size_t row : batch) {
+    EXPECT_GE(row, 15u);
+  }
+}
+
+TEST(LfpLfnSelectorTest, EmptyWhenNoCandidates) {
+  // A trained rule that matches nothing unlabeled, and no rule-minus hits:
+  // selection must come back empty (termination signal).
+  FeatureMatrix features(10, 3);  // All-zero rows.
+  ActivePool pool(std::move(features));
+
+  // Build training data that teaches the rule (atom0 AND atom1).
+  FeatureMatrix train(40, 3);
+  std::vector<int> labels(40);
+  for (size_t i = 0; i < 40; ++i) {
+    const bool positive = i % 2 == 0;
+    train.Set(i, 0, positive ? 1.0f : 0.0f);
+    train.Set(i, 1, positive ? 1.0f : 0.0f);
+    labels[i] = positive ? 1 : 0;
+  }
+  RuleLearner learner;
+  learner.Fit(train, labels);
+  ASSERT_FALSE(learner.dnf().conjunctions.empty());
+
+  LfpLfnSelector selector;
+  const std::vector<size_t> batch = selector.Select(learner, pool, 5, nullptr);
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace alem

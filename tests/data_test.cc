@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/table.h"
+#include "util/csv.h"
+
+namespace alem {
+namespace {
+
+// ---- Schema ----
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema schema({"name", "price", "brand"});
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.IndexOf("price"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+  EXPECT_EQ(schema.column(2), "brand");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema schema;
+  EXPECT_EQ(schema.num_columns(), 0u);
+  EXPECT_EQ(schema.IndexOf("x"), -1);
+}
+
+// ---- Table ----
+
+TEST(TableTest, AddAndAccessRows) {
+  Table table{Schema({"a", "b"})};
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.Value(1, 0), "3");
+  EXPECT_EQ(table.row(0), (Record{"1", "2"}));
+}
+
+TEST(TableTest, ValueOutOfRangeColumnIsEmpty) {
+  Table table{Schema({"a"})};
+  table.AddRow({"x"});
+  EXPECT_EQ(table.Value(0, 5), "");
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table{Schema({"name", "desc"})};
+  table.AddRow({"widget, deluxe", "says \"best\""});
+  table.AddRow({"", "empty name"});
+  const std::string path = ::testing::TempDir() + "/alem_table_test.csv";
+  ASSERT_TRUE(table.ToCsvFile(path));
+
+  Table loaded;
+  ASSERT_TRUE(Table::FromCsvFile(path, &loaded));
+  EXPECT_EQ(loaded.schema().columns(), table.schema().columns());
+  ASSERT_EQ(loaded.num_rows(), table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(loaded.row(r), table.row(r));
+  }
+}
+
+TEST(TableTest, FromCsvToleratesRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/alem_ragged.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"a", "b", "c"}, {"1", "2"}, {"3"}}));
+  Table table;
+  ASSERT_TRUE(Table::FromCsvFile(path, &table));
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.row(0).size(), 3u);  // Padded to header arity.
+  EXPECT_EQ(table.Value(0, 2), "");
+}
+
+TEST(TableTest, FromMissingFileFails) {
+  Table table;
+  EXPECT_FALSE(Table::FromCsvFile("/no/such/file.csv", &table));
+}
+
+// ---- RecordPair / GroundTruth ----
+
+TEST(RecordPairTest, PairKeyIsInjective) {
+  EXPECT_NE(PairKey({1, 2}), PairKey({2, 1}));
+  EXPECT_EQ(PairKey({7, 9}), PairKey({7, 9}));
+  EXPECT_NE(PairKey({0, 1}), PairKey({1, 0}));
+}
+
+TEST(GroundTruthTest, MembershipAndCount) {
+  GroundTruth truth;
+  truth.AddMatch({3, 4});
+  truth.AddMatch({3, 4});  // Duplicate insert is idempotent.
+  truth.AddMatch({5, 6});
+  EXPECT_EQ(truth.num_matches(), 2u);
+  EXPECT_TRUE(truth.IsMatch({3, 4}));
+  EXPECT_FALSE(truth.IsMatch({4, 3}));
+}
+
+// ---- EmDataset ----
+
+EmDataset MakeDataset() {
+  EmDataset dataset;
+  dataset.left = Table{Schema({"name", "price"})};
+  dataset.right = Table{Schema({"price", "name", "extra"})};
+  dataset.left.AddRow({"a", "1"});
+  dataset.left.AddRow({"b", "2"});
+  dataset.right.AddRow({"1", "a", "x"});
+  dataset.truth.AddMatch({0, 0});
+  return dataset;
+}
+
+TEST(EmDatasetTest, TotalPairsIsCartesian) {
+  const EmDataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.TotalPairs(), 2u);
+}
+
+TEST(EmDatasetTest, LabelsForAlignsWithPairs) {
+  const EmDataset dataset = MakeDataset();
+  const std::vector<RecordPair> pairs = {{0, 0}, {1, 0}};
+  EXPECT_EQ(dataset.LabelsFor(pairs), (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(dataset.ClassSkew(pairs), 0.5);
+}
+
+TEST(EmDatasetTest, ClassSkewOfEmptyPairsIsZero) {
+  const EmDataset dataset = MakeDataset();
+  EXPECT_DOUBLE_EQ(dataset.ClassSkew({}), 0.0);
+}
+
+TEST(EmDatasetTest, AlignByNameMatchesSharedColumns) {
+  const EmDataset dataset = MakeDataset();
+  const auto aligned =
+      EmDataset::AlignByName(dataset.left, dataset.right);
+  ASSERT_EQ(aligned.size(), 2u);
+  EXPECT_EQ(aligned[0].left_column, 0);   // name.
+  EXPECT_EQ(aligned[0].right_column, 1);
+  EXPECT_EQ(aligned[1].left_column, 1);   // price.
+  EXPECT_EQ(aligned[1].right_column, 0);
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "features/boolean_features.h"
+#include "features/feature_extractor.h"
+#include "features/feature_matrix.h"
+#include "sim/similarity.h"
+
+namespace alem {
+namespace {
+
+EmDataset MakeDataset() {
+  EmDataset dataset;
+  dataset.name = "test";
+  Schema schema({"name", "price"});
+  dataset.left = Table(schema);
+  dataset.right = Table(schema);
+  dataset.left.AddRow({"sony camera", "299.99"});
+  dataset.left.AddRow({"canon printer", ""});
+  dataset.right.AddRow({"sony camera", "299.99"});
+  dataset.right.AddRow({"office chair", "19.99"});
+  dataset.matched_columns = {{0, 0}, {1, 1}};
+  dataset.truth.AddMatch({0, 0});
+  return dataset;
+}
+
+// ---- FeatureMatrix ----
+
+TEST(FeatureMatrixTest, ShapeAndAccess) {
+  FeatureMatrix matrix(3, 4);
+  EXPECT_EQ(matrix.rows(), 3u);
+  EXPECT_EQ(matrix.dims(), 4u);
+  matrix.Set(1, 2, 0.5f);
+  EXPECT_FLOAT_EQ(matrix.At(1, 2), 0.5f);
+  EXPECT_FLOAT_EQ(matrix.Row(1)[2], 0.5f);
+  EXPECT_FLOAT_EQ(matrix.At(0, 0), 0.0f);
+}
+
+TEST(FeatureMatrixTest, GatherCopiesRows) {
+  FeatureMatrix matrix(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    matrix.Set(r, 0, static_cast<float>(r));
+  }
+  const FeatureMatrix gathered = matrix.Gather({2, 0, 2});
+  ASSERT_EQ(gathered.rows(), 3u);
+  EXPECT_FLOAT_EQ(gathered.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(gathered.At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gathered.At(2, 0), 2.0f);
+}
+
+TEST(FeatureMatrixTest, AppendRowSetsDims) {
+  FeatureMatrix matrix;
+  matrix.AppendRow({1.0f, 2.0f});
+  matrix.AppendRow({3.0f, 4.0f});
+  EXPECT_EQ(matrix.rows(), 2u);
+  EXPECT_EQ(matrix.dims(), 2u);
+  EXPECT_FLOAT_EQ(matrix.At(1, 1), 4.0f);
+}
+
+// ---- FeatureExtractor ----
+
+TEST(FeatureExtractorTest, DimensionalityIs21PerColumn) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  EXPECT_EQ(extractor.num_dims(),
+            static_cast<size_t>(kNumSimilarityFunctions) * 2);
+  EXPECT_EQ(extractor.num_matched_columns(), 2u);
+}
+
+TEST(FeatureExtractorTest, IdenticalPairScoresOnes) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  std::vector<float> features(extractor.num_dims());
+  extractor.ExtractPair({0, 0}, features.data());  // Identical records.
+  for (size_t d = 0; d < features.size(); ++d) {
+    EXPECT_NEAR(features[d], 1.0f, 1e-6) << extractor.FeatureName(d);
+  }
+}
+
+TEST(FeatureExtractorTest, NullAttributeYieldsZeroBlock) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  std::vector<float> features(extractor.num_dims());
+  // Left row 1 has an empty price -> the whole price block must be 0.
+  extractor.ExtractPair({1, 0}, features.data());
+  for (int s = 0; s < kNumSimilarityFunctions; ++s) {
+    EXPECT_EQ(features[static_cast<size_t>(kNumSimilarityFunctions + s)],
+              0.0f);
+  }
+}
+
+TEST(FeatureExtractorTest, ExtractDimMatchesFullExtraction) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  const RecordPair pair{0, 1};
+  std::vector<float> features(extractor.num_dims());
+  extractor.ExtractPair(pair, features.data());
+  for (size_t d = 0; d < extractor.num_dims(); ++d) {
+    EXPECT_FLOAT_EQ(extractor.ExtractDim(pair, d), features[d]);
+  }
+}
+
+TEST(FeatureExtractorTest, ExtractAllAlignsWithPairs) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  const std::vector<RecordPair> pairs = {{0, 0}, {0, 1}, {1, 1}};
+  const FeatureMatrix matrix = extractor.ExtractAll(pairs);
+  EXPECT_EQ(matrix.rows(), 3u);
+  std::vector<float> expected(extractor.num_dims());
+  extractor.ExtractPair(pairs[1], expected.data());
+  for (size_t d = 0; d < extractor.num_dims(); ++d) {
+    EXPECT_FLOAT_EQ(matrix.At(1, d), expected[d]);
+  }
+}
+
+TEST(FeatureExtractorTest, FeatureNamesMentionFunctionAndColumn) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  EXPECT_EQ(extractor.FeatureName(0), "Identity(name)");
+  const auto names = extractor.FeatureNames();
+  EXPECT_EQ(names.size(), extractor.num_dims());
+  EXPECT_EQ(names.back(), "MongeElkan(price)");
+}
+
+// ---- BooleanFeaturizer ----
+
+TEST(BooleanFeaturizerTest, AtomGridIs3Sims10ThresholdsPerColumn) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  BooleanFeaturizer featurizer(extractor);
+  EXPECT_EQ(featurizer.num_atoms(), 2u * 3u * 10u);
+}
+
+TEST(BooleanFeaturizerTest, ThresholdSemantics) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  BooleanFeaturizer featurizer(extractor);
+
+  const std::vector<RecordPair> pairs = {{0, 0}, {0, 1}};
+  const FeatureMatrix float_features = extractor.ExtractAll(pairs);
+  const FeatureMatrix boolean = featurizer.Featurize(float_features);
+  EXPECT_EQ(boolean.rows(), 2u);
+  EXPECT_EQ(boolean.dims(), featurizer.num_atoms());
+
+  for (size_t a = 0; a < featurizer.num_atoms(); ++a) {
+    const BooleanAtom& atom = featurizer.atom(a);
+    for (size_t row = 0; row < 2; ++row) {
+      const bool expected =
+          float_features.At(row, atom.float_dim) >= atom.threshold - 1e-9;
+      EXPECT_EQ(boolean.At(row, a) >= 0.5f, expected) << atom.description;
+      EXPECT_EQ(featurizer.Evaluate(a, float_features.Row(row)), expected);
+    }
+  }
+}
+
+TEST(BooleanFeaturizerTest, IdenticalPairSatisfiesAllAtoms) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  BooleanFeaturizer featurizer(extractor);
+  const FeatureMatrix float_features = extractor.ExtractAll({{0, 0}});
+  const FeatureMatrix boolean = featurizer.Featurize(float_features);
+  for (size_t a = 0; a < featurizer.num_atoms(); ++a) {
+    EXPECT_EQ(boolean.At(0, a), 1.0f) << featurizer.atom(a).description;
+  }
+}
+
+TEST(BooleanFeaturizerTest, DescriptionsAreReadable) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  BooleanFeaturizer featurizer(extractor);
+  EXPECT_EQ(featurizer.atom(0).description, "Identity(name) >= 0.1");
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace alem {
+namespace {
+
+TEST(MetricsTest, PerfectPredictions) {
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const BinaryMetrics m = ComputeBinaryMetrics(labels, labels);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.true_negatives, 2u);
+}
+
+TEST(MetricsTest, KnownConfusion) {
+  const std::vector<int> predictions = {1, 1, 1, 0, 0, 0};
+  const std::vector<int> labels = {1, 1, 0, 1, 0, 0};
+  const BinaryMetrics m = ComputeBinaryMetrics(predictions, labels);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 / 3.0);
+}
+
+TEST(MetricsTest, NoPredictedPositives) {
+  const BinaryMetrics m = ComputeBinaryMetrics({0, 0, 0}, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, NoActualPositives) {
+  const BinaryMetrics m = ComputeBinaryMetrics({1, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, AllNegativeAgreement) {
+  const BinaryMetrics m = ComputeBinaryMetrics({0, 0}, {0, 0});
+  EXPECT_EQ(m.true_negatives, 2u);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);  // Undefined -> 0 by convention.
+}
+
+TEST(MetricsTest, EmptyInput) {
+  const BinaryMetrics m = ComputeBinaryMetrics({}, {});
+  EXPECT_EQ(m.true_positives, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, PrecisionRecallAsymmetry) {
+  // 1 TP, 3 FP -> precision 0.25; recall 1.0.
+  const BinaryMetrics m = ComputeBinaryMetrics({1, 1, 1, 1}, {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 0.25);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.4);
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "ml/neural_net.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// XOR-like data in the unit square: positives in the (low, high) and
+// (high, low) corners — not linearly separable.
+void MakeXor(size_t n, uint64_t seed, FeatureMatrix* features,
+             std::vector<int>* labels) {
+  Rng rng(seed);
+  *features = FeatureMatrix(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool a = rng.NextBernoulli(0.5);
+    const bool b = rng.NextBernoulli(0.5);
+    features->Set(i, 0,
+                  static_cast<float>((a ? 0.8 : 0.2) + rng.NextGaussian() * 0.05));
+    features->Set(i, 1,
+                  static_cast<float>((b ? 0.8 : 0.2) + rng.NextGaussian() * 0.05));
+    (*labels)[i] = (a != b) ? 1 : 0;
+  }
+}
+
+TEST(NeuralNetTest, LearnsNonLinearXor) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(400, 1, &features, &labels);
+  NeuralNetConfig config;
+  config.epochs = 120;  // XOR needs a few more epochs than the EM default.
+  config.dropout = 0.0;
+  NeuralNetwork net(config);
+  net.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(net.PredictAll(features), labels);
+  EXPECT_GT(m.f1, 0.95);
+}
+
+TEST(NeuralNetTest, MarginAndProbabilityConsistent) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(200, 2, &features, &labels);
+  NeuralNetwork net(NeuralNetConfig{});
+  net.Fit(features, labels);
+  for (size_t i = 0; i < 20; ++i) {
+    const float* x = features.Row(i);
+    const double margin = net.Margin(x);
+    const double p = net.PredictProbability(x);
+    // p = sigmoid(margin).
+    EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-margin)), 1e-9);
+    EXPECT_EQ(net.Predict(x), p > 0.5 ? 1 : 0);
+  }
+}
+
+TEST(NeuralNetTest, DeterministicForSameSeed) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(100, 3, &features, &labels);
+  NeuralNetConfig config;
+  config.seed = 7;
+  NeuralNetwork a(config), b(config);
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Margin(features.Row(i)), b.Margin(features.Row(i)));
+  }
+}
+
+TEST(NeuralNetTest, DifferentSeedsGiveDifferentModels) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(100, 4, &features, &labels);
+  NeuralNetConfig ca, cb;
+  ca.seed = 1;
+  cb.seed = 2;
+  NeuralNetwork a(ca), b(cb);
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  bool any_difference = false;
+  for (size_t i = 0; i < 10 && !any_difference; ++i) {
+    any_difference = a.Margin(features.Row(i)) != b.Margin(features.Row(i));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(NeuralNetTest, LowMarginMeansAmbiguousProbability) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(300, 5, &features, &labels);
+  NeuralNetwork net(NeuralNetConfig{});
+  net.Fit(features, labels);
+  // Points with the smallest |margin| must have probability closest to 0.5
+  // (the paper's cross-check of margin against output probability).
+  double smallest_margin = 1e9;
+  double probability_at_smallest = 0.0;
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const double margin = std::abs(net.Margin(features.Row(i)));
+    if (margin < smallest_margin) {
+      smallest_margin = margin;
+      probability_at_smallest = net.PredictProbability(features.Row(i));
+    }
+  }
+  EXPECT_NEAR(probability_at_smallest, 0.5, 0.25);
+}
+
+TEST(NeuralNetTest, DeepMatcherProxyHasTwoLayers) {
+  const NeuralNetConfig config = DeepMatcherProxyConfig(1);
+  EXPECT_EQ(config.hidden_sizes.size(), 2u);
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(200, 6, &features, &labels);
+  NeuralNetwork net(config);
+  net.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(net.PredictAll(features), labels);
+  EXPECT_GT(m.f1, 0.8);
+}
+
+TEST(NeuralNetTest, SingleExampleBatchDoesNotCrash) {
+  FeatureMatrix features(1, 2);
+  features.Set(0, 0, 0.5f);
+  std::vector<int> labels = {1};
+  NeuralNetwork net(NeuralNetConfig{});
+  net.Fit(features, labels);  // Batch norm must degrade gracefully at b=1.
+  EXPECT_TRUE(net.trained());
+}
+
+}  // namespace
+}  // namespace alem

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linear_svm.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// Linearly separable 2-D data: positives around (0.8, 0.8), negatives
+// around (0.2, 0.2).
+void MakeBlobs(size_t n, uint64_t seed, FeatureMatrix* features,
+               std::vector<int>* labels) {
+  Rng rng(seed);
+  *features = FeatureMatrix(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    const double center = positive ? 0.8 : 0.2;
+    features->Set(i, 0, static_cast<float>(center + rng.NextGaussian() * 0.05));
+    features->Set(i, 1, static_cast<float>(center + rng.NextGaussian() * 0.05));
+    (*labels)[i] = positive ? 1 : 0;
+  }
+}
+
+TEST(LinearSvmTest, LearnsSeparableBlobs) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 1, &features, &labels);
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(svm.PredictAll(features), labels);
+  EXPECT_GT(m.f1, 0.98);
+}
+
+TEST(LinearSvmTest, MarginSignMatchesPrediction) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(100, 2, &features, &labels);
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const double margin = svm.Margin(features.Row(i));
+    EXPECT_EQ(svm.Predict(features.Row(i)), margin > 0.0 ? 1 : 0);
+  }
+}
+
+TEST(LinearSvmTest, PositiveClassGetsLargerMargins) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 3, &features, &labels);
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+  double positive_mean = 0.0, negative_mean = 0.0;
+  size_t np = 0, nn = 0;
+  for (size_t i = 0; i < features.rows(); ++i) {
+    if (labels[i] == 1) {
+      positive_mean += svm.Margin(features.Row(i));
+      ++np;
+    } else {
+      negative_mean += svm.Margin(features.Row(i));
+      ++nn;
+    }
+  }
+  EXPECT_GT(positive_mean / np, negative_mean / nn);
+}
+
+TEST(LinearSvmTest, DeterministicForSameSeed) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(100, 4, &features, &labels);
+  LinearSvmConfig config;
+  config.seed = 99;
+  LinearSvm a(config), b(config);
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (size_t j = 0; j < a.weights().size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.weights()[j], b.weights()[j]);
+  }
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearSvmTest, TopWeightDimensionsOrdering) {
+  // Feature 1 is perfectly discriminative, feature 0 is pure noise.
+  Rng rng(5);
+  FeatureMatrix features(200, 2);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < 200; ++i) {
+    const bool positive = i % 2 == 0;
+    features.Set(i, 0, static_cast<float>(rng.NextDouble()));
+    features.Set(i, 1, positive ? 0.9f : 0.1f);
+    labels[i] = positive ? 1 : 0;
+  }
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+  const std::vector<size_t> top = svm.TopWeightDimensions(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 1u);
+  // Asking for more dims than exist caps at dims.
+  EXPECT_EQ(svm.TopWeightDimensions(10).size(), 2u);
+}
+
+TEST(LinearSvmTest, HandlesClassSkewWithBalancing) {
+  // 5% positives; balanced sampling should still learn them.
+  Rng rng(6);
+  FeatureMatrix features(400, 2);
+  std::vector<int> labels(400);
+  for (size_t i = 0; i < 400; ++i) {
+    const bool positive = i % 20 == 0;
+    const double center = positive ? 0.8 : 0.2;
+    features.Set(i, 0, static_cast<float>(center + rng.NextGaussian() * 0.05));
+    features.Set(i, 1, static_cast<float>(center + rng.NextGaussian() * 0.05));
+    labels[i] = positive ? 1 : 0;
+  }
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(svm.PredictAll(features), labels);
+  EXPECT_GT(m.recall, 0.9);
+  EXPECT_GT(m.precision, 0.9);
+}
+
+TEST(LinearSvmTest, UntrainedReportsNotTrained) {
+  LinearSvm svm;
+  EXPECT_FALSE(svm.trained());
+}
+
+}  // namespace
+}  // namespace alem

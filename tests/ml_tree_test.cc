@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+void MakeXor(size_t n, uint64_t seed, FeatureMatrix* features,
+             std::vector<int>* labels) {
+  Rng rng(seed);
+  *features = FeatureMatrix(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool a = rng.NextBernoulli(0.5);
+    const bool b = rng.NextBernoulli(0.5);
+    features->Set(i, 0,
+                  static_cast<float>((a ? 0.8 : 0.2) + rng.NextGaussian() * 0.05));
+    features->Set(i, 1,
+                  static_cast<float>((b ? 0.8 : 0.2) + rng.NextGaussian() * 0.05));
+    (*labels)[i] = (a != b) ? 1 : 0;
+  }
+}
+
+// Evaluates whether a DNF clause list matches a feature vector.
+bool DnfMatches(const std::vector<TreeDnfClause>& clauses, const float* x) {
+  for (const TreeDnfClause& clause : clauses) {
+    bool all = true;
+    for (const TreePredicate& predicate : clause) {
+      const bool satisfied = predicate.greater_equal
+                                 ? x[predicate.dim] >= predicate.threshold
+                                 : x[predicate.dim] < predicate.threshold;
+      if (!satisfied) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(DecisionTreeTest, FitsTrainingDataPerfectlyWithAllFeatures) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(300, 1, &features, &labels);
+  DecisionTreeConfig config;
+  config.max_features = -1;  // Consider all features at each split.
+  DecisionTree tree(config);
+  tree.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(tree.PredictAll(features), labels);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);  // Unlimited depth memorizes the train set.
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  FeatureMatrix features(10, 2);
+  std::vector<int> labels(10, 1);  // All positive.
+  DecisionTree tree;
+  tree.Fit(features, labels);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.Predict(features.Row(0)), 1);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(300, 2, &features, &labels);
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  config.max_features = -1;
+  DecisionTree tree(config);
+  tree.Fit(features, labels);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+// Property: the DNF extracted from a tree is semantically equivalent to the
+// tree's positive predictions (the basis of the Fig. 18 interpretability
+// comparison).
+TEST(DecisionTreeTest, DnfEquivalentToTreePredictions) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(400, 3, &features, &labels);
+  DecisionTreeConfig config;
+  config.max_features = -1;
+  DecisionTree tree(config);
+  tree.Fit(features, labels);
+  const std::vector<TreeDnfClause> clauses = tree.ToDnfClauses();
+  for (size_t i = 0; i < features.rows(); ++i) {
+    EXPECT_EQ(tree.Predict(features.Row(i)) == 1,
+              DnfMatches(clauses, features.Row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(DecisionTreeTest, NumDnfAtomsCountsWithRepetition) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(200, 4, &features, &labels);
+  DecisionTreeConfig config;
+  config.max_features = -1;
+  DecisionTree tree(config);
+  tree.Fit(features, labels);
+  size_t atoms = 0;
+  for (const TreeDnfClause& clause : tree.ToDnfClauses()) {
+    atoms += clause.size();
+  }
+  EXPECT_EQ(tree.NumDnfAtoms(), atoms);
+  EXPECT_GT(atoms, 0u);
+}
+
+TEST(RandomForestTest, LearnsXor) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(400, 5, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+  const BinaryMetrics m =
+      ComputeBinaryMetrics(forest.PredictAll(features), labels);
+  EXPECT_GT(m.f1, 0.97);
+}
+
+TEST(RandomForestTest, PositiveFractionInUnitRange) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(200, 6, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 7;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const double p = forest.PositiveFraction(features.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // PositiveFraction must be a multiple of 1/7.
+    EXPECT_NEAR(p * 7.0, std::round(p * 7.0), 1e-9);
+  }
+}
+
+TEST(RandomForestTest, MajorityVoteConsistentWithFraction) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(200, 7, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const double p = forest.PositiveFraction(features.Row(i));
+    EXPECT_EQ(forest.Predict(features.Row(i)), p >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(RandomForestTest, TreesAreDiverse) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(300, 8, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 20;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+  // Bootstrap + feature subsampling should produce at least one
+  // non-unanimous vote over the training set.
+  bool any_disagreement = false;
+  for (size_t i = 0; i < features.rows() && !any_disagreement; ++i) {
+    const double p = forest.PositiveFraction(features.Row(i));
+    any_disagreement = p > 0.0 && p < 1.0;
+  }
+  EXPECT_TRUE(any_disagreement);
+}
+
+TEST(RandomForestTest, DeterministicForSameSeed) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(150, 9, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 5;
+  config.seed = 77;
+  RandomForest a(config), b(config);
+  a.Fit(features, labels);
+  b.Fit(features, labels);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    EXPECT_EQ(a.PositiveFraction(features.Row(i)),
+              b.PositiveFraction(features.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, InterpretabilityMetricsGrowWithForestSize) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeXor(300, 10, &features, &labels);
+  RandomForestConfig small_config;
+  small_config.num_trees = 2;
+  RandomForestConfig large_config;
+  large_config.num_trees = 20;
+  RandomForest small_forest(small_config), large_forest(large_config);
+  small_forest.Fit(features, labels);
+  large_forest.Fit(features, labels);
+  EXPECT_GT(large_forest.TotalDnfAtoms(), small_forest.TotalDnfAtoms());
+  EXPECT_GT(large_forest.MaxDepth(), 0);
+}
+
+}  // namespace
+}  // namespace alem

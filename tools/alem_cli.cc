@@ -1,0 +1,220 @@
+// alem_cli: command-line front end for the benchmark framework.
+//
+// Commands:
+//   alem_cli list
+//       Lists the built-in dataset profiles and approach names.
+//   alem_cli stats --dataset=<name> [--scale=S] [--seed=N]
+//       Table-1 style statistics for one dataset.
+//   alem_cli run --dataset=<name> --approach=<name>
+//       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
+//       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
+//       Runs one active-learning experiment and prints the learning curve.
+//   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
+//       [--limit=N]
+//       Loads a saved forest/SVM model and prints its predicted matches on
+//       a (fresh) dataset, with quality metrics against the ground truth.
+//
+// Examples:
+//   alem_cli run --dataset=Abt-Buy --approach=trees20 --max-labels=300
+//   alem_cli run --dataset=Cora --approach=linear-margin-1dim --noise=0.1
+
+#include <cstdio>
+#include <string>
+
+#include "core/harness.h"
+#include "ml/metrics.h"
+#include "ml/serialization.h"
+#include "synth/profiles.h"
+#include "util/flags.h"
+
+namespace alem {
+namespace {
+
+int CommandList() {
+  std::printf("datasets:\n");
+  for (const SynthProfile& profile : AllPublicProfiles()) {
+    std::printf("  %s\n", profile.name.c_str());
+  }
+  std::printf("  SocialMedia\n");
+  std::printf(
+      "\napproaches:\n"
+      "  trees<N>                 random forest of N trees + learner-aware "
+      "QBC\n"
+      "  linear-margin            linear SVM + margin selection\n"
+      "  linear-margin-<K>dim     ... with K blocking dimensions\n"
+      "  linear-margin-ensemble   ... with an active ensemble (tau 0.85)\n"
+      "  linear-qbc<B>            linear SVM + bootstrap QBC(B)\n"
+      "  nn-margin / nn-qbc<B>    neural-network variants\n"
+      "  rules                    DNF rules + LFP/LFN\n"
+      "  rules-qbc<B>             DNF rules + bootstrap QBC(B)\n"
+      "  supervised-trees<N>      random-batch supervised baseline\n"
+      "  deepmatcher              supervised deep proxy (Fig. 16)\n");
+  return 0;
+}
+
+int CommandStats(const FlagParser& flags) {
+  const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
+  const SynthProfile profile = ProfileByName(dataset_name);
+  const PreparedDataset data =
+      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
+                     flags.GetDouble("scale", 1.0));
+  std::printf("dataset:             %s\n", data.name.c_str());
+  std::printf("left records:        %zu\n", data.dataset.left.num_rows());
+  std::printf("right records:       %zu\n", data.dataset.right.num_rows());
+  std::printf("total pairs:         %llu\n",
+              static_cast<unsigned long long>(data.dataset.TotalPairs()));
+  std::printf("post-blocking pairs: %zu\n", data.pairs.size());
+  std::printf("true matches:        %zu\n", data.num_matches);
+  std::printf("class skew:          %.3f\n", data.class_skew);
+  std::printf("float features:      %zu\n", data.float_features.dims());
+  std::printf("boolean atoms:       %zu\n", data.boolean_features.dims());
+  return 0;
+}
+
+int SaveModel(const RunResult& result, const std::string& path) {
+  std::string blob;
+  if (const auto* svm =
+          dynamic_cast<const SvmLearner*>(result.final_model.get())) {
+    blob = SerializeSvm(svm->model());
+  } else if (const auto* forest = dynamic_cast<const ForestLearner*>(
+                 result.final_model.get())) {
+    blob = SerializeForest(forest->model());
+  } else if (const auto* nn = dynamic_cast<const NeuralNetLearner*>(
+                 result.final_model.get())) {
+    blob = SerializeNeuralNet(nn->model());
+  } else if (const auto* rules = dynamic_cast<const RuleLearner*>(
+                 result.final_model.get())) {
+    blob = SerializeDnf(rules->dnf());
+  } else {
+    std::fprintf(stderr, "model type does not support serialization\n");
+    return 1;
+  }
+  if (!SaveToFile(path, blob)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("model saved to %s (%zu bytes)\n", path.c_str(), blob.size());
+  return 0;
+}
+
+int CommandRun(const FlagParser& flags) {
+  const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
+  const std::string approach_name = flags.GetString("approach", "trees20");
+
+  ApproachSpec spec;
+  if (!ApproachFromName(approach_name, &spec)) {
+    std::fprintf(stderr, "unknown approach '%s' (try: alem_cli list)\n",
+                 approach_name.c_str());
+    return 1;
+  }
+  const SynthProfile profile = ProfileByName(dataset_name);
+  const PreparedDataset data =
+      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
+                     flags.GetDouble("scale", 1.0));
+
+  RunConfig config;
+  config.approach = spec;
+  config.max_labels = static_cast<size_t>(flags.GetInt("max-labels", 300));
+  config.batch_size = static_cast<size_t>(flags.GetInt("batch", 10));
+  config.seed_size = static_cast<size_t>(flags.GetInt("seed-size", 30));
+  config.oracle_noise = flags.GetDouble("noise", 0.0);
+  config.holdout = flags.GetBool("holdout", false);
+  config.run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
+
+  std::printf("%s on %s (%zu pairs, skew %.3f)%s\n",
+              spec.DisplayName().c_str(), data.name.c_str(),
+              data.pairs.size(), data.class_skew,
+              config.holdout ? ", holdout 80/20" : ", progressive");
+  const RunResult result = RunActiveLearning(data, config);
+
+  if (!flags.GetBool("quiet", false)) {
+    std::printf("%8s %10s %10s %10s %10s\n", "#labels", "precision",
+                "recall", "F1", "wait(s)");
+    for (const IterationStats& it : result.curve) {
+      std::printf("%8zu %10.3f %10.3f %10.3f %10.4f\n", it.labels_used,
+                  it.metrics.precision, it.metrics.recall, it.metrics.f1,
+                  it.wait_seconds);
+    }
+  }
+  std::printf("best F1 %.3f with %zu labels; total wait %.2fs\n",
+              result.best_f1, result.labels_to_converge,
+              result.total_wait_seconds);
+  if (result.ensemble_accepted > 0) {
+    std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
+  }
+
+  if (flags.Has("save-model")) {
+    return SaveModel(result, flags.GetString("save-model", "model.txt"));
+  }
+  return 0;
+}
+
+int CommandApply(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "apply requires --model=PATH\n");
+    return 1;
+  }
+  std::string blob;
+  if (!LoadFromFile(model_path, &blob)) {
+    std::fprintf(stderr, "cannot read %s\n", model_path.c_str());
+    return 1;
+  }
+  const SynthProfile profile =
+      ProfileByName(flags.GetString("dataset", "Abt-Buy"));
+  const PreparedDataset data =
+      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
+                     flags.GetDouble("scale", 1.0));
+
+  std::vector<int> predictions;
+  RandomForest forest;
+  LinearSvm svm;
+  if (DeserializeForest(blob, &forest)) {
+    predictions = forest.PredictAll(data.float_features);
+  } else if (DeserializeSvm(blob, &svm)) {
+    predictions = svm.PredictAll(data.float_features);
+  } else {
+    std::fprintf(stderr,
+                 "unrecognized model blob (apply supports forest and svm "
+                 "models)\n");
+    return 1;
+  }
+
+  const BinaryMetrics metrics = ComputeBinaryMetrics(predictions, data.truth);
+  std::printf("%s on %s: %zu pairs, precision %.3f, recall %.3f, F1 %.3f\n",
+              model_path.c_str(), data.name.c_str(), data.pairs.size(),
+              metrics.precision, metrics.recall, metrics.f1);
+
+  const size_t limit = static_cast<size_t>(flags.GetInt("limit", 20));
+  size_t shown = 0;
+  for (size_t i = 0; i < data.pairs.size() && shown < limit; ++i) {
+    if (predictions[i] != 1) continue;
+    ++shown;
+    std::printf("  left[%u] <-> right[%u]%s\n", data.pairs[i].left,
+                data.pairs[i].right,
+                data.truth[i] == 1 ? "" : "   (false positive)");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  const std::string command =
+      flags.positional().empty() ? "help" : flags.positional()[0];
+  if (command == "list") return CommandList();
+  if (command == "stats") return CommandStats(flags);
+  if (command == "run") return CommandRun(flags);
+  if (command == "apply") return CommandApply(flags);
+  std::printf(
+      "usage: alem_cli <list|stats|run|apply> [flags]\n"
+      "  alem_cli list\n"
+      "  alem_cli stats --dataset=Abt-Buy\n"
+      "  alem_cli run --dataset=Abt-Buy --approach=trees20 "
+      "--max-labels=300\n");
+  return command == "help" ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace alem
+
+int main(int argc, char** argv) { return alem::Main(argc, argv); }
