@@ -5,10 +5,51 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "util/csv.h"
+
+// Injected by bench/CMakeLists.txt from `git describe` at configure time.
+#ifndef ALEM_GIT_SHA
+#define ALEM_GIT_SHA "unknown"
+#endif
 
 namespace alem {
 namespace bench {
+
+const char* BuildGitSha() { return ALEM_GIT_SHA; }
+
+namespace {
+
+// Base path ("<ALEM_TRACE_DIR>/<sanitized artifact>") for the at-exit
+// trace/metrics export; empty when ALEM_TRACE_DIR is unset.
+std::string& TraceExportBase() {
+  static std::string* base = new std::string();
+  return *base;
+}
+
+void ExportTraceAtExit() {
+  const std::string& base = TraceExportBase();
+  if (base.empty()) return;
+  const std::string trace_path = base + ".trace.json";
+  const std::string metrics_path = base + ".metrics.csv";
+  if (obs::TraceRecorder::Global().WriteChromeTrace(trace_path)) {
+    std::printf("(trace written to %s)\n", trace_path.c_str());
+  }
+  if (obs::MetricsRegistry::Global().WriteCsv(metrics_path)) {
+    std::printf("(metrics written to %s)\n", metrics_path.c_str());
+  }
+}
+
+std::string SanitizeFileName(const std::string& name) {
+  std::string sanitized;
+  for (const char c : name) {
+    sanitized.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return sanitized;
+}
+
+}  // namespace
 
 double ScaleFromEnv(double default_scale) {
   const char* value = std::getenv("ALEM_SCALE");
@@ -36,10 +77,22 @@ void PrintHeader(const std::string& artifact,
   std::printf("==============================================================\n");
   std::printf("%s\n", artifact.c_str());
   std::printf("%s\n", description.c_str());
+  std::printf("build=%s\n", BuildGitSha());
   std::printf("scale=%.2f (override with ALEM_SCALE / ALEM_MAX_LABELS / "
               "ALEM_RUNS)\n",
               ScaleFromEnv());
   std::printf("==============================================================\n");
+
+  const char* trace_dir = std::getenv("ALEM_TRACE_DIR");
+  if (trace_dir != nullptr && *trace_dir != '\0') {
+    obs::SetTracingEnabled(true);
+    obs::SetMetricsEnabled(true);
+    const bool first = TraceExportBase().empty();
+    TraceExportBase() =
+        std::string(trace_dir) + "/" + SanitizeFileName(artifact);
+    if (first) std::atexit(ExportTraceAtExit);
+    std::printf("(tracing to %s.trace.json)\n", TraceExportBase().c_str());
+  }
 }
 
 namespace {

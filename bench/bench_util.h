@@ -8,6 +8,11 @@
 //   ALEM_RUNS       repetitions for noisy oracles  (default per-bench)
 //   ALEM_CSV_DIR    when set, every printed series table is also written
 //                   as <dir>/<sanitized title>.csv for plotting
+//   ALEM_TRACE_DIR  when set, enables the obs subsystem and writes
+//                   <dir>/<sanitized artifact>.trace.json (Chrome trace,
+//                   Perfetto-loadable) and <dir>/<...>.metrics.csv at exit,
+//                   so every paper-figure bench emits a trace alongside
+//                   its CSV (see docs/observability.md)
 
 #ifndef ALEM_BENCH_BENCH_UTIL_H_
 #define ALEM_BENCH_BENCH_UTIL_H_
@@ -26,9 +31,15 @@ double ScaleFromEnv(double default_scale = 1.0);
 size_t MaxLabelsFromEnv(size_t default_labels);
 size_t RunsFromEnv(size_t default_runs);
 
-// Prints the bench banner: which paper artifact this regenerates and the
-// workload parameters in effect.
+// Prints the bench banner: which paper artifact this regenerates, the
+// workload parameters in effect, and the build (git describe) the numbers
+// are attributable to. When ALEM_TRACE_DIR is set this also switches
+// tracing + metrics on and registers an at-exit export into that directory.
 void PrintHeader(const std::string& artifact, const std::string& description);
+
+// The compile-time git identity baked into this binary ("unknown" when the
+// build tree had no git metadata).
+const char* BuildGitSha();
 
 // One plotted line: (x = #labels, y = value) points.
 struct Series {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
@@ -99,8 +100,20 @@ double SortedJaccard(const std::vector<int>& a, const std::vector<int>& b) {
 
 }  // namespace internal_blocking
 
+namespace {
+
+// Reports the size of an offline-blocking result to the metrics registry.
+void CountCandidatePairs(size_t pairs) {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("blocking.candidate_pairs");
+  counter.Add(pairs);
+}
+
+}  // namespace
+
 std::vector<RecordPair> JaccardBlocking(const EmDataset& dataset,
                                         const BlockingConfig& config) {
+  obs::ObsSpan span("blocking.jaccard", "blocking");
   using internal_blocking::TokenizeDataset;
   ALEM_CHECK_GT(config.jaccard_threshold, 0.0);
   const auto tokenized = TokenizeDataset(dataset);
@@ -139,11 +152,13 @@ std::vector<RecordPair> JaccardBlocking(const EmDataset& dataset,
                                            const RecordPair& b) {
     return a.left != b.left ? a.left < b.left : a.right < b.right;
   });
+  CountCandidatePairs(pairs.size());
   return pairs;
 }
 
 std::vector<RecordPair> JaccardBlockingBruteForce(
     const EmDataset& dataset, const BlockingConfig& config) {
+  obs::ObsSpan span("blocking.brute_force", "blocking");
   using internal_blocking::SortedJaccard;
   using internal_blocking::TokenizeDataset;
   const auto tokenized = TokenizeDataset(dataset);
@@ -164,6 +179,7 @@ std::vector<RecordPair> JaccardBlockingBruteForce(
 
 std::vector<RecordPair> JaccardBlockingPrefix(const EmDataset& dataset,
                                               const BlockingConfig& config) {
+  obs::ObsSpan span("blocking.prefix", "blocking");
   using internal_blocking::SortedJaccard;
   using internal_blocking::TokenizeDataset;
   ALEM_CHECK_GT(config.jaccard_threshold, 0.0);

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 
 namespace alem {
 
@@ -21,14 +21,22 @@ ActiveEnsembleLoop::ActiveEnsembleLoop(MarginLearner& candidate,
 }
 
 std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
+  obs::ObsSpan run_span("ensemble.run", "core");
+  static obs::Gauge& accepted_gauge =
+      obs::MetricsRegistry::Global().GetGauge("ensemble.accepted");
+
   std::vector<IterationStats> curve;
-  SeedPool(pool, oracle_, config_.base.seed_size, config_.base.seed);
+  {
+    obs::ObsSpan seed_span("loop.seed", "core");
+    SeedPool(pool, oracle_, config_.base.seed_size, config_.base.seed);
+  }
   accepted_count_ = 0;
 
   // Union of positive predictions of all *accepted* members, per pool row.
   std::vector<char> accepted_positive(pool.size(), 0);
 
   for (size_t iteration = 1;; ++iteration) {
+    obs::ObsSpan iteration_span("loop.iteration", "core");
     IterationStats stats;
     stats.iteration = iteration;
     stats.labels_used = pool.num_labeled();
@@ -40,11 +48,13 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
         !labels.empty() &&
         std::count(labels.begin(), labels.end(), 1) > 0 &&
         std::count(labels.begin(), labels.end(), 0) > 0;
-    StopWatch train_watch;
-    if (trainable) {
-      candidate_.Fit(pool.ActiveLabeledFeatures(), labels);
+    {
+      obs::ObsSpan train_span("loop.train", "core");
+      if (trainable) {
+        candidate_.Fit(pool.ActiveLabeledFeatures(), labels);
+      }
+      stats.train_seconds = train_span.Close();
     }
-    stats.train_seconds = train_watch.ElapsedSeconds();
 
     // Precision gate: judge the candidate on the labeled examples it
     // predicts positive (their true labels came from the Oracle).
@@ -72,27 +82,32 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
     // (or no member has been accepted yet, so there is nothing else to
     // report). A post-coverage candidate trained on the residue would
     // otherwise pollute the union with false positives.
-    const bool include_candidate =
-        trainable && candidate_.trained() &&
-        (accepted_count_ == 0 ||
-         (candidate_judgeable &&
-          candidate_precision >= config_.precision_threshold));
-    const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
-    std::vector<int> predictions(eval_rows.size());
-    for (size_t i = 0; i < eval_rows.size(); ++i) {
-      const size_t row = eval_rows[i];
-      int prediction = accepted_positive[row];
-      if (prediction == 0 && include_candidate) {
-        prediction = candidate_.Predict(pool.features().Row(row));
+    {
+      obs::ObsSpan evaluate_span("loop.evaluate", "core");
+      const bool include_candidate =
+          trainable && candidate_.trained() &&
+          (accepted_count_ == 0 ||
+           (candidate_judgeable &&
+            candidate_precision >= config_.precision_threshold));
+      const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
+      std::vector<int> predictions(eval_rows.size());
+      for (size_t i = 0; i < eval_rows.size(); ++i) {
+        const size_t row = eval_rows[i];
+        int prediction = accepted_positive[row];
+        if (prediction == 0 && include_candidate) {
+          prediction = candidate_.Predict(pool.features().Row(row));
+        }
+        predictions[i] = prediction;
       }
-      predictions[i] = prediction;
+      stats.metrics = evaluator_.Evaluate(predictions);
+      stats.evaluate_seconds = evaluate_span.Close();
     }
-    stats.metrics = evaluator_.Evaluate(predictions);
 
     if (candidate_judgeable &&
         candidate_precision >= config_.precision_threshold) {
       // Accept: record coverage and remove covered examples from both the
       // labeled and unlabeled sets.
+      obs::ObsSpan coverage_span("ensemble.coverage", "core");
       ++accepted_count_;
       for (size_t row = 0; row < pool.size(); ++row) {
         if (accepted_positive[row] != 0 || pool.IsExcluded(row)) continue;
@@ -103,6 +118,7 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
       }
     }
     stats.ensemble_size = accepted_count_;
+    accepted_gauge.Set(static_cast<double>(accepted_count_));
 
     // Select the next batch from the uncovered unlabeled pool.
     const bool budget_exhausted =
@@ -110,27 +126,35 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
     const bool target_reached = config_.base.target_f1 > 0.0 &&
                                 stats.metrics.f1 >= config_.base.target_f1;
     std::vector<size_t> batch;
-    if (!budget_exhausted && !target_reached && trainable &&
-        !pool.unlabeled_rows().empty()) {
-      SelectionTiming timing;
-      const size_t remaining_budget =
-          config_.base.max_labels - pool.num_labeled();
-      batch = selector_.Select(
-          candidate_, pool,
-          std::min(config_.base.batch_size, remaining_budget), &timing);
-      stats.committee_seconds = timing.committee_seconds;
-      stats.scoring_seconds = timing.scoring_seconds;
-      stats.scored_examples = timing.scored_examples;
-      stats.pruned_examples = timing.pruned_examples;
+    {
+      obs::ObsSpan select_span("loop.select", "core");
+      if (!budget_exhausted && !target_reached && trainable &&
+          !pool.unlabeled_rows().empty()) {
+        SelectionTiming timing;
+        const size_t remaining_budget =
+            config_.base.max_labels - pool.num_labeled();
+        batch = selector_.Select(
+            candidate_, pool,
+            std::min(config_.base.batch_size, remaining_budget), &timing);
+        stats.committee_seconds = timing.committee_seconds;
+        stats.scoring_seconds = timing.scoring_seconds;
+        stats.scored_examples = timing.scored_examples;
+        stats.pruned_examples = timing.pruned_examples;
+      }
+      stats.select_seconds = select_span.Close();
     }
-    stats.wait_seconds = stats.train_seconds + stats.committee_seconds +
-                         stats.scoring_seconds;
+    {
+      obs::ObsSpan label_span("loop.label", "core");
+      for (const size_t row : batch) {
+        pool.AddLabel(row, oracle_.Label(row));
+      }
+      stats.label_seconds = label_span.Close();
+    }
+    // Span-derived user wait time, as in ActiveLearningLoop::Run.
+    stats.wait_seconds = stats.train_seconds + stats.select_seconds;
     curve.push_back(stats);
 
     if (batch.empty()) break;
-    for (const size_t row : batch) {
-      pool.AddLabel(row, oracle_.Label(row));
-    }
   }
   return curve;
 }

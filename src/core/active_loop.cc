@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 
 namespace alem {
 
@@ -69,39 +69,60 @@ ActiveLearningLoop::ActiveLearningLoop(Learner& learner,
 }
 
 std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
+  obs::ObsSpan run_span("loop.run", "core");
+  static obs::Counter& iteration_counter =
+      obs::MetricsRegistry::Global().GetCounter("loop.iterations");
+  static obs::Gauge& labels_gauge =
+      obs::MetricsRegistry::Global().GetGauge("loop.labels_used");
+  static obs::Histogram& wait_histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "loop.wait_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0});
+
   std::vector<IterationStats> curve;
-  SeedPool(pool, oracle_, config_.seed_size, config_.seed);
+  {
+    obs::ObsSpan seed_span("loop.seed", "core");
+    SeedPool(pool, oracle_, config_.seed_size, config_.seed);
+  }
 
   std::vector<int> previous_predictions;
   size_t stable_iterations = 0;
   for (size_t iteration = 1;; ++iteration) {
+    obs::ObsSpan iteration_span("loop.iteration", "core");
+    iteration_counter.Increment();
     IterationStats stats;
     stats.iteration = iteration;
     stats.labels_used = pool.num_labeled();
 
     // 1. Train on the cumulative labeled data.
-    StopWatch train_watch;
-    learner_.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
-    stats.train_seconds = train_watch.ElapsedSeconds();
-
-    // 2. Evaluate.
-    const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
-    std::vector<int> predictions(eval_rows.size());
-    for (size_t i = 0; i < eval_rows.size(); ++i) {
-      predictions[i] = learner_.Predict(pool.features().Row(eval_rows[i]));
+    {
+      obs::ObsSpan train_span("loop.train", "core");
+      learner_.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
+      stats.train_seconds = train_span.Close();
     }
-    stats.metrics = evaluator_.Evaluate(predictions);
-    CollectInterpretability(learner_, &stats);
 
-    // Plateau detection: count consecutive iterations whose predictions are
-    // identical to the previous iteration's.
-    if (config_.plateau_window > 0) {
-      if (predictions == previous_predictions) {
-        ++stable_iterations;
-      } else {
-        stable_iterations = 0;
+    // 2. Evaluate. Excluded from user wait time: the paper's wait metric
+    // only counts work between the user's label submissions.
+    {
+      obs::ObsSpan evaluate_span("loop.evaluate", "core");
+      const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
+      std::vector<int> predictions(eval_rows.size());
+      for (size_t i = 0; i < eval_rows.size(); ++i) {
+        predictions[i] = learner_.Predict(pool.features().Row(eval_rows[i]));
       }
-      previous_predictions = predictions;
+      stats.metrics = evaluator_.Evaluate(predictions);
+      CollectInterpretability(learner_, &stats);
+
+      // Plateau detection: count consecutive iterations whose predictions
+      // are identical to the previous iteration's.
+      if (config_.plateau_window > 0) {
+        if (predictions == previous_predictions) {
+          ++stable_iterations;
+        } else {
+          stable_iterations = 0;
+        }
+        previous_predictions = std::move(predictions);
+      }
+      stats.evaluate_seconds = evaluate_span.Close();
     }
 
     // 3. Select the next batch.
@@ -113,31 +134,46 @@ std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
     const bool target_reached =
         config_.target_f1 > 0.0 && stats.metrics.f1 >= config_.target_f1;
     std::vector<size_t> batch;
-    if (!budget_exhausted && !target_reached && !plateaued &&
-        !pool.unlabeled_rows().empty()) {
-      SelectionTiming timing;
-      const size_t remaining_budget =
-          config_.max_labels > pool.num_labeled()
-              ? config_.max_labels - pool.num_labeled()
-              : 0;
-      batch = selector_.Select(learner_, pool,
-                               std::min(config_.batch_size, remaining_budget),
-                               &timing);
-      stats.committee_seconds = timing.committee_seconds;
-      stats.scoring_seconds = timing.scoring_seconds;
-      stats.scored_examples = timing.scored_examples;
-      stats.pruned_examples = timing.pruned_examples;
+    {
+      obs::ObsSpan select_span("loop.select", "core");
+      if (!budget_exhausted && !target_reached && !plateaued &&
+          !pool.unlabeled_rows().empty()) {
+        SelectionTiming timing;
+        const size_t remaining_budget =
+            config_.max_labels > pool.num_labeled()
+                ? config_.max_labels - pool.num_labeled()
+                : 0;
+        batch = selector_.Select(
+            learner_, pool, std::min(config_.batch_size, remaining_budget),
+            &timing);
+        stats.committee_seconds = timing.committee_seconds;
+        stats.scoring_seconds = timing.scoring_seconds;
+        stats.scored_examples = timing.scored_examples;
+        stats.pruned_examples = timing.pruned_examples;
+      }
+      stats.select_seconds = select_span.Close();
     }
-    stats.wait_seconds = stats.train_seconds + stats.committee_seconds +
-                         stats.scoring_seconds;
+
+    // 4. Query the Oracle and grow the training set (a no-op span on the
+    // terminating iteration). Label time is the user's own and excluded
+    // from wait time.
+    {
+      obs::ObsSpan label_span("loop.label", "core");
+      for (const size_t row : batch) {
+        pool.AddLabel(row, oracle_.Label(row));
+      }
+      stats.label_seconds = label_span.Close();
+    }
+
+    // User wait time is the sum of the measured phase spans (train +
+    // select); summing spans rather than re-reading a restarted wall clock
+    // keeps evaluator time out of it (paper §6, Fig. 13).
+    stats.wait_seconds = stats.train_seconds + stats.select_seconds;
+    wait_histogram.Observe(stats.wait_seconds);
+    labels_gauge.Set(static_cast<double>(pool.num_labeled()));
     curve.push_back(stats);
 
     if (batch.empty()) break;  // Termination: budget, target, or selector.
-
-    // 4. Query the Oracle and grow the training set.
-    for (const size_t row : batch) {
-      pool.AddLabel(row, oracle_.Label(row));
-    }
   }
   return curve;
 }

@@ -49,10 +49,21 @@ struct IterationStats {
   size_t labels_used = 0;
   BinaryMetrics metrics;
 
+  // Phase latencies, each derived from the phase's trace span (obs::ObsSpan)
+  // so the recorded trace and the stats can never disagree.
   double train_seconds = 0.0;
+  // Full example-selection span; committee + scoring below are the
+  // selector-reported breakdown of it (Fig. 10).
+  double select_seconds = 0.0;
   double committee_seconds = 0.0;
   double scoring_seconds = 0.0;
-  // Train + committee + scoring: what the user actually waits per iteration.
+  // Evaluation and Oracle-labeling time, excluded from user wait time: the
+  // paper's wait metric (Fig. 13) covers only what blocks the user between
+  // submitting labels and receiving the next batch.
+  double evaluate_seconds = 0.0;
+  double label_seconds = 0.0;
+  // train_seconds + select_seconds, summed from the phase spans rather than
+  // read from an independently restarted wall clock.
   double wait_seconds = 0.0;
 
   // Interpretability (0 when not applicable to the learner).

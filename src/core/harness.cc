@@ -7,6 +7,7 @@
 #include "core/evaluator.h"
 #include "core/oracle.h"
 #include "features/feature_extractor.h"
+#include "obs/obs.h"
 #include "synth/generator.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -16,24 +17,34 @@ namespace alem {
 
 PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
                                double scale) {
+  obs::ObsSpan prepare_span("harness.prepare", "harness", profile.name);
   PreparedDataset prepared;
   prepared.name = profile.name;
-  prepared.dataset = GenerateDataset(profile, data_seed, scale);
+  {
+    obs::ObsSpan generate_span("harness.generate", "harness");
+    prepared.dataset = GenerateDataset(profile, data_seed, scale);
+  }
 
-  BlockingConfig blocking;
-  blocking.jaccard_threshold = profile.blocking_threshold;
-  prepared.pairs = JaccardBlocking(prepared.dataset, blocking);
-  prepared.truth = prepared.dataset.LabelsFor(prepared.pairs);
-  prepared.class_skew = prepared.dataset.ClassSkew(prepared.pairs);
-  prepared.num_matches = static_cast<size_t>(
-      std::count(prepared.truth.begin(), prepared.truth.end(), 1));
+  {
+    obs::ObsSpan block_span("harness.block", "harness");
+    BlockingConfig blocking;
+    blocking.jaccard_threshold = profile.blocking_threshold;
+    prepared.pairs = JaccardBlocking(prepared.dataset, blocking);
+    prepared.truth = prepared.dataset.LabelsFor(prepared.pairs);
+    prepared.class_skew = prepared.dataset.ClassSkew(prepared.pairs);
+    prepared.num_matches = static_cast<size_t>(
+        std::count(prepared.truth.begin(), prepared.truth.end(), 1));
+  }
 
-  FeatureExtractor extractor(prepared.dataset);
-  prepared.float_features = extractor.ExtractAll(prepared.pairs);
-  prepared.feature_names = extractor.FeatureNames();
-  prepared.featurizer = std::make_shared<BooleanFeaturizer>(extractor);
-  prepared.boolean_features =
-      prepared.featurizer->Featurize(prepared.float_features);
+  {
+    obs::ObsSpan featurize_span("harness.featurize", "harness");
+    FeatureExtractor extractor(prepared.dataset);
+    prepared.float_features = extractor.ExtractAll(prepared.pairs);
+    prepared.feature_names = extractor.FeatureNames();
+    prepared.featurizer = std::make_shared<BooleanFeaturizer>(extractor);
+    prepared.boolean_features =
+        prepared.featurizer->Featurize(prepared.float_features);
+  }
   return prepared;
 }
 
@@ -65,6 +76,8 @@ void FinalizeResult(const PreparedDataset& data, RunResult* result) {
 
 RunResult RunActiveLearning(const PreparedDataset& data,
                             const RunConfig& config) {
+  obs::ObsSpan run_span("harness.run", "harness",
+                        config.approach.DisplayName());
   const FeatureMatrix& features = IsRuleApproach(config.approach)
                                       ? data.boolean_features
                                       : data.float_features;

@@ -1,6 +1,21 @@
 #include "core/learner.h"
 
+#include "obs/obs.h"
+
 namespace alem {
+
+void Learner::Fit(const FeatureMatrix& features,
+                  const std::vector<int>& labels) {
+  obs::ObsSpan span("ml.fit", "ml", name());
+  FitImpl(features, labels);
+  const double seconds = span.Close();
+  static obs::Counter& fits =
+      obs::MetricsRegistry::Global().GetCounter("ml.fit_calls");
+  fits.Increment();
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "ml.fit_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0});
+  latency.Observe(seconds);
+}
 
 std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
   std::vector<int> predictions(features.rows());
@@ -12,12 +27,12 @@ std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
 
 // ---- SvmLearner ----
 
-void SvmLearner::Fit(const FeatureMatrix& features,
-                     const std::vector<int>& labels) {
+void SvmLearner::FitImpl(const FeatureMatrix& features,
+                         const std::vector<int>& labels) {
   model_.Fit(features, labels);
 }
 
-int SvmLearner::Predict(const float* x) const { return model_.Predict(x); }
+int SvmLearner::PredictImpl(const float* x) const { return model_.Predict(x); }
 
 std::unique_ptr<Learner> SvmLearner::CloneUntrained() const {
   return std::make_unique<SvmLearner>(model_.config());
@@ -37,12 +52,12 @@ std::vector<size_t> SvmLearner::BlockingDimensions(size_t k) const {
 
 // ---- NeuralNetLearner ----
 
-void NeuralNetLearner::Fit(const FeatureMatrix& features,
-                           const std::vector<int>& labels) {
+void NeuralNetLearner::FitImpl(const FeatureMatrix& features,
+                               const std::vector<int>& labels) {
   model_.Fit(features, labels);
 }
 
-int NeuralNetLearner::Predict(const float* x) const {
+int NeuralNetLearner::PredictImpl(const float* x) const {
   return model_.Predict(x);
 }
 
@@ -66,12 +81,14 @@ std::vector<size_t> NeuralNetLearner::BlockingDimensions(size_t k) const {
 
 // ---- ForestLearner ----
 
-void ForestLearner::Fit(const FeatureMatrix& features,
-                        const std::vector<int>& labels) {
+void ForestLearner::FitImpl(const FeatureMatrix& features,
+                            const std::vector<int>& labels) {
   model_.Fit(features, labels);
 }
 
-int ForestLearner::Predict(const float* x) const { return model_.Predict(x); }
+int ForestLearner::PredictImpl(const float* x) const {
+  return model_.Predict(x);
+}
 
 std::unique_ptr<Learner> ForestLearner::CloneUntrained() const {
   return std::make_unique<ForestLearner>(model_.config());
@@ -89,12 +106,12 @@ double ForestLearner::PositiveFraction(const float* x) const {
 
 // ---- RuleLearner ----
 
-void RuleLearner::Fit(const FeatureMatrix& boolean_features,
-                      const std::vector<int>& labels) {
+void RuleLearner::FitImpl(const FeatureMatrix& boolean_features,
+                          const std::vector<int>& labels) {
   model_.Fit(boolean_features, labels);
 }
 
-int RuleLearner::Predict(const float* boolean_row) const {
+int RuleLearner::PredictImpl(const float* boolean_row) const {
   return model_.Predict(boolean_row);
 }
 

@@ -30,19 +30,29 @@
 #include "ml/linear_svm.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "obs/obs.h"
 
 namespace alem {
 
 // Base class for all learners in the framework.
+//
+// Fit and Predict are non-virtual template methods so every training phase
+// and prediction in the pipeline is observable from one place: Fit wraps
+// FitImpl in an "ml.fit" trace span (committee-member training shows up
+// nested under the selector's committee span), and Predict counts calls
+// through a branch-predicted no-op when metrics are off. Subclasses
+// implement FitImpl / PredictImpl.
 class Learner {
  public:
   virtual ~Learner() = default;
 
   // Trains from scratch on labels in {0, 1}.
-  virtual void Fit(const FeatureMatrix& features,
-                   const std::vector<int>& labels) = 0;
+  void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
 
-  virtual int Predict(const float* x) const = 0;
+  int Predict(const float* x) const {
+    obs::CountPredictCall();
+    return PredictImpl(x);
+  }
   virtual std::vector<int> PredictAll(const FeatureMatrix& features) const;
 
   virtual bool trained() const = 0;
@@ -55,6 +65,11 @@ class Learner {
   virtual void set_seed(uint64_t seed) = 0;
 
   virtual std::string_view name() const = 0;
+
+ protected:
+  virtual void FitImpl(const FeatureMatrix& features,
+                       const std::vector<int>& labels) = 0;
+  virtual int PredictImpl(const float* x) const = 0;
 };
 
 // Learners for which a margin (distance-to-decision-boundary proxy) exists.
@@ -80,9 +95,6 @@ class SvmLearner final : public MarginLearner {
   SvmLearner() = default;
   explicit SvmLearner(const LinearSvmConfig& config) : model_(config) {}
 
-  void Fit(const FeatureMatrix& features,
-           const std::vector<int>& labels) override;
-  int Predict(const float* x) const override;
   bool trained() const override { return model_.trained(); }
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
@@ -91,6 +103,11 @@ class SvmLearner final : public MarginLearner {
   std::vector<size_t> BlockingDimensions(size_t k) const override;
 
   const LinearSvm& model() const { return model_; }
+
+ protected:
+  void FitImpl(const FeatureMatrix& features,
+               const std::vector<int>& labels) override;
+  int PredictImpl(const float* x) const override;
 
  private:
   LinearSvm model_;
@@ -102,9 +119,6 @@ class NeuralNetLearner final : public MarginLearner {
   NeuralNetLearner() = default;
   explicit NeuralNetLearner(const NeuralNetConfig& config) : model_(config) {}
 
-  void Fit(const FeatureMatrix& features,
-           const std::vector<int>& labels) override;
-  int Predict(const float* x) const override;
   bool trained() const override { return model_.trained(); }
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
@@ -116,6 +130,11 @@ class NeuralNetLearner final : public MarginLearner {
 
   const NeuralNetwork& model() const { return model_; }
 
+ protected:
+  void FitImpl(const FeatureMatrix& features,
+               const std::vector<int>& labels) override;
+  int PredictImpl(const float* x) const override;
+
  private:
   NeuralNetwork model_;
 };
@@ -126,9 +145,6 @@ class ForestLearner final : public Learner {
   ForestLearner() = default;
   explicit ForestLearner(const RandomForestConfig& config) : model_(config) {}
 
-  void Fit(const FeatureMatrix& features,
-           const std::vector<int>& labels) override;
-  int Predict(const float* x) const override;
   bool trained() const override { return model_.trained(); }
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
@@ -138,6 +154,11 @@ class ForestLearner final : public Learner {
   double PositiveFraction(const float* x) const;
 
   const RandomForest& model() const { return model_; }
+
+ protected:
+  void FitImpl(const FeatureMatrix& features,
+               const std::vector<int>& labels) override;
+  int PredictImpl(const float* x) const override;
 
  private:
   RandomForest model_;
@@ -150,9 +171,6 @@ class RuleLearner final : public Learner {
   RuleLearner() = default;
   explicit RuleLearner(const DnfRuleLearnerConfig& config) : model_(config) {}
 
-  void Fit(const FeatureMatrix& boolean_features,
-           const std::vector<int>& labels) override;
-  int Predict(const float* boolean_row) const override;
   bool trained() const override { return model_.trained(); }
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
@@ -160,6 +178,11 @@ class RuleLearner final : public Learner {
 
   const Dnf& dnf() const { return model_.dnf(); }
   const DnfRuleLearner& model() const { return model_; }
+
+ protected:
+  void FitImpl(const FeatureMatrix& boolean_features,
+               const std::vector<int>& labels) override;
+  int PredictImpl(const float* boolean_row) const override;
 
  private:
   DnfRuleLearner model_;

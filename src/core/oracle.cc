@@ -2,9 +2,17 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace alem {
+
+void Oracle::CountQuery() {
+  ++queries_;
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("oracle.queries");
+  counter.Increment();
+}
 
 PerfectOracle::PerfectOracle(std::vector<int> truth)
     : truth_(std::move(truth)) {}

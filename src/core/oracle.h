@@ -27,7 +27,9 @@ class Oracle {
   size_t queries() const { return queries_; }
 
  protected:
-  void CountQuery() { ++queries_; }
+  // Bumps both the per-instance count and the global "oracle.queries"
+  // metric (defined in oracle.cc to keep obs out of this header).
+  void CountQuery();
 
  private:
   size_t queries_ = 0;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 
 namespace alem {
 namespace {
@@ -43,6 +43,20 @@ std::vector<size_t> TopKSmallest(std::vector<ScoredRow>& scored, size_t k) {
   return rows;
 }
 
+// Metrics shared by all selectors: #examples fully scored and #examples
+// skipped by selection-time blocking (paper Section 5.1).
+void CountScored(size_t scored) {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("selector.scored_examples");
+  counter.Add(scored);
+}
+
+void CountPruned(size_t pruned) {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("blocking.pruned");
+  counter.Add(pruned);
+}
+
 }  // namespace
 
 // ---- RandomSelector ----
@@ -51,15 +65,16 @@ std::vector<size_t> RandomSelector::Select(const Learner& model,
                                            const ActivePool& pool, size_t k,
                                            SelectionTiming* timing) {
   (void)model;
-  StopWatch watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", "Random");
   const std::vector<size_t>& unlabeled = pool.unlabeled_rows();
   const size_t take = std::min(k, unlabeled.size());
   std::vector<size_t> picks =
       rng_.SampleWithoutReplacement(unlabeled.size(), take);
   std::vector<size_t> rows(take);
   for (size_t i = 0; i < take; ++i) rows[i] = unlabeled[picks[i]];
+  const double scoring_seconds = scoring_span.Close();
   if (timing != nullptr) {
-    timing->scoring_seconds = watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = 0;
   }
   return rows;
@@ -87,7 +102,7 @@ std::vector<size_t> QbcSelector::Select(const Learner& model,
   // Committee creation: bootstrap-resample the labeled data and train one
   // clone per member. This is the dominant cost of learner-agnostic QBC
   // (dashed lines in Fig. 10a-b).
-  StopWatch committee_watch;
+  obs::ObsSpan committee_span("selector.committee", "selector", name_);
   const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
   const std::vector<int> labeled_labels = pool.ActiveLabeledLabels();
   ALEM_CHECK(!labeled_rows.empty());
@@ -108,10 +123,10 @@ std::vector<size_t> QbcSelector::Select(const Learner& model,
     clone->Fit(pool.features().Gather(rows), labels);
     committee.push_back(std::move(clone));
   }
-  const double committee_seconds = committee_watch.ElapsedSeconds();
+  const double committee_seconds = committee_span.Close();
 
   // Example scoring: committee vote variance per unlabeled example.
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", name_);
   std::vector<ScoredRow> scored;
   scored.reserve(unlabeled.size());
   for (const size_t row : unlabeled) {
@@ -123,9 +138,11 @@ std::vector<size_t> QbcSelector::Select(const Learner& model,
     scored.push_back(ScoredRow{row, p * (1.0 - p), rng_.Next()});
   }
   std::vector<size_t> rows = TopKLargest(scored, k);
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(unlabeled.size());
   if (timing != nullptr) {
     timing->committee_seconds = committee_seconds;
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = unlabeled.size();
   }
   return rows;
@@ -148,7 +165,7 @@ std::vector<size_t> ForestQbcSelector::Select(const Learner& model,
 
   // The committee already exists (it was trained as part of the forest), so
   // selection is scoring only.
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", "ForestQBC");
   std::vector<ScoredRow> scored;
   scored.reserve(unlabeled.size());
   for (const size_t row : unlabeled) {
@@ -156,8 +173,10 @@ std::vector<size_t> ForestQbcSelector::Select(const Learner& model,
     scored.push_back(ScoredRow{row, p * (1.0 - p), rng_.Next()});
   }
   std::vector<size_t> rows = TopKLargest(scored, k);
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(unlabeled.size());
   if (timing != nullptr) {
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = unlabeled.size();
   }
   return rows;
@@ -187,7 +206,7 @@ std::vector<size_t> MarginSelector::Select(const Learner& model,
     blocking = margin_learner->BlockingDimensions(blocking_dims_);
   }
 
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", "Margin");
   std::vector<ScoredRow> scored;
   scored.reserve(unlabeled.size());
   size_t pruned = 0;
@@ -210,8 +229,11 @@ std::vector<size_t> MarginSelector::Select(const Learner& model,
         ScoredRow{row, std::abs(margin_learner->Margin(x)), 0});
   }
   std::vector<size_t> rows = TopKSmallest(scored, k);
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(scored.size());
+  CountPruned(pruned);
   if (timing != nullptr) {
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = scored.size();
     timing->pruned_examples = pruned;
   }
@@ -242,7 +264,7 @@ std::vector<size_t> IwalSelector::Select(const Learner& model,
   if (unlabeled.empty()) return {};
 
   // Bootstrap committee, exactly as in QBC.
-  StopWatch committee_watch;
+  obs::ObsSpan committee_span("selector.committee", "selector", name_);
   const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
   const std::vector<int> labeled_labels = pool.ActiveLabeledLabels();
   ALEM_CHECK(!labeled_rows.empty());
@@ -262,11 +284,11 @@ std::vector<size_t> IwalSelector::Select(const Learner& model,
     clone->Fit(pool.features().Gather(rows), labels);
     committee.push_back(std::move(clone));
   }
-  const double committee_seconds = committee_watch.ElapsedSeconds();
+  const double committee_seconds = committee_span.Close();
 
   // Rejection sampling: visit unlabeled examples in random order and keep
   // each with probability p_min + (1 - p_min) * 4 * variance.
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", name_);
   std::vector<size_t> visit(unlabeled);
   rng_.Shuffle(visit);
   std::vector<size_t> rows;
@@ -292,9 +314,11 @@ std::vector<size_t> IwalSelector::Select(const Learner& model,
     for (const size_t row : rows) already |= row == visit[i];
     if (!already) rows.push_back(visit[i]);
   }
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(scored);
   if (timing != nullptr) {
     timing->committee_seconds = committee_seconds;
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = scored;
   }
   return rows;
@@ -319,7 +343,7 @@ std::vector<size_t> DensityWeightedSelector::Select(const Learner& model,
   const std::vector<size_t>& unlabeled = pool.unlabeled_rows();
   if (unlabeled.empty()) return {};
 
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", "DensityMargin");
   const size_t dims = pool.features().dims();
 
   // Density reference: a fixed random sample of the unlabeled pool.
@@ -365,8 +389,10 @@ std::vector<size_t> DensityWeightedSelector::Select(const Learner& model,
         ScoredRow{row, uncertainty * std::pow(density, beta_), 0});
   }
   std::vector<size_t> rows = TopKLargest(scored, k);
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(unlabeled.size());
   if (timing != nullptr) {
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = unlabeled.size();
   }
   return rows;
@@ -386,7 +412,7 @@ std::vector<size_t> LfpLfnSelector::Select(const Learner& model,
   const std::vector<size_t>& unlabeled = pool.unlabeled_rows();
   if (unlabeled.empty()) return {};
 
-  StopWatch scoring_watch;
+  obs::ObsSpan scoring_span("selector.scoring", "selector", "LFP/LFN");
   const Dnf& dnf = rules->dnf();
   const std::vector<Conjunction> relaxed = dnf.RuleMinusVariants();
   const size_t num_atoms = pool.features().dims();
@@ -434,8 +460,10 @@ std::vector<size_t> LfpLfnSelector::Select(const Learner& model,
     if (i < lfp_rows.size()) rows.push_back(lfp_rows[i++]);
     if (rows.size() < k && j < lfn_rows.size()) rows.push_back(lfn_rows[j++]);
   }
+  const double scoring_seconds = scoring_span.Close();
+  CountScored(unlabeled.size());
   if (timing != nullptr) {
-    timing->scoring_seconds = scoring_watch.ElapsedSeconds();
+    timing->scoring_seconds = scoring_seconds;
     timing->scored_examples = unlabeled.size();
   }
   return rows;

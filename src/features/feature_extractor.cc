@@ -1,8 +1,20 @@
 #include "features/feature_extractor.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace alem {
+namespace {
+
+// Similarity-function cost accounting (one Add per pair, not per call, to
+// keep the extraction loop tight).
+void CountSimCalls(size_t calls) {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.calls");
+  counter.Add(calls);
+}
+
+}  // namespace
 
 FeatureExtractor::FeatureExtractor(const EmDataset& dataset) {
   const size_t num_columns = dataset.matched_columns.size();
@@ -54,6 +66,7 @@ void FeatureExtractor::ExtractPair(const RecordPair& pair, float* out) const {
       out[dim++] = static_cast<float>(function->Similarity(left, right));
     }
   }
+  CountSimCalls(dim);
 }
 
 float FeatureExtractor::ExtractDim(const RecordPair& pair, size_t dim) const {
@@ -62,6 +75,7 @@ float FeatureExtractor::ExtractDim(const RecordPair& pair, size_t dim) const {
   const size_t function_index = dim % kNumSimilarityFunctions;
   const SimilarityFunction* function =
       AllSimilarityFunctions()[function_index];
+  CountSimCalls(1);
   return static_cast<float>(function->Similarity(
       LeftProfile(pair.left, column_pair),
       RightProfile(pair.right, column_pair)));

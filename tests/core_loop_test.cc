@@ -8,6 +8,7 @@
 #include "core/oracle.h"
 #include "core/pool.h"
 #include "core/selector.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace alem {
@@ -118,6 +119,52 @@ TEST(ActiveLearningLoopTest, RecordsLatencyBreakdown) {
     EXPECT_GT(curve[i].committee_seconds, 0.0);  // QBC builds committees.
     EXPECT_GE(curve[i].wait_seconds,
               curve[i].train_seconds + curve[i].committee_seconds);
+  }
+}
+
+// wait_seconds must equal the sum of the measured train + select phase
+// spans (single measurement, no separately restarted wall clock), so the
+// trace and the learning curve tell the same latency story.
+TEST(ActiveLearningLoopTest, WaitSecondsIsSumOfPhaseSpans) {
+  obs::TraceRecorder::Global().Clear();
+  obs::SetTracingEnabled(true);
+
+  const Problem problem = MakeProblem(400, 8);
+  ActivePool pool(problem.features);
+  PerfectOracle oracle(problem.truth);
+  ProgressiveEvaluator evaluator(problem.truth);
+  SvmLearner learner{LinearSvmConfig{}};
+  QbcSelector selector(3, 7);
+  ActiveLearningConfig config;
+  config.max_labels = 70;
+  ActiveLearningLoop loop(learner, selector, oracle, evaluator, config);
+  const auto curve = loop.Run(pool);
+
+  obs::SetTracingEnabled(false);
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceRecorder::Global().Snapshot();
+  obs::TraceRecorder::Global().Clear();
+
+  // Spans close in iteration order on one thread, so the i-th train/select
+  // span belongs to curve[i].
+  std::vector<double> train_seconds;
+  std::vector<double> select_seconds;
+  size_t iteration_spans = 0;
+  for (const obs::SpanRecord& span : spans) {
+    const double seconds = static_cast<double>(span.duration_ns) / 1e9;
+    if (span.name == "loop.train") train_seconds.push_back(seconds);
+    if (span.name == "loop.select") select_seconds.push_back(seconds);
+    if (span.name == "loop.iteration") ++iteration_spans;
+  }
+  ASSERT_EQ(train_seconds.size(), curve.size());
+  ASSERT_EQ(select_seconds.size(), curve.size());
+  EXPECT_EQ(iteration_spans, curve.size());
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i].wait_seconds,
+                     train_seconds[i] + select_seconds[i])
+        << "iteration " << i;
+    EXPECT_DOUBLE_EQ(curve[i].train_seconds, train_seconds[i]);
+    EXPECT_DOUBLE_EQ(curve[i].select_seconds, select_seconds[i]);
   }
 }
 

@@ -1,0 +1,462 @@
+// Tests for the observability layer (src/obs/): span nesting, recorder
+// exports, metric types, registry snapshots, and the disabled-mode no-op
+// guarantees the hot paths rely on.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alem {
+namespace obs {
+namespace {
+
+// Every test runs with a clean, enabled obs state and leaves the process
+// with both subsystems off again (other test binaries' suites assume the
+// default-off state).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+    SetTracingEnabled(true);
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    SetMetricsEnabled(false);
+    TraceRecorder::Global().Clear();
+    MetricsRegistry::Global().ResetAll();
+  }
+};
+
+// ---- Minimal JSON parser -----------------------------------------------
+// Just enough JSON to parse the exporter's own output back and verify it
+// is well-formed (objects, arrays, strings with escapes, numbers).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // Escaped control char; value irrelevant here.
+            out->push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::kArray;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::kObject;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- Spans -------------------------------------------------------------
+
+TEST_F(ObsTest, SpansRecordNestingDepth) {
+  {
+    ObsSpan outer("outer", "test");
+    {
+      ObsSpan middle("middle", "test");
+      ObsSpan inner("inner", "test", "leaf");
+    }
+    ObsSpan sibling("sibling", "test");
+  }
+  const std::vector<SpanRecord> spans = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = span;
+  EXPECT_EQ(by_name.at("outer").depth, 0);
+  EXPECT_EQ(by_name.at("middle").depth, 1);
+  EXPECT_EQ(by_name.at("inner").depth, 2);
+  EXPECT_EQ(by_name.at("sibling").depth, 1);
+  EXPECT_EQ(by_name.at("inner").detail, "leaf");
+  EXPECT_EQ(by_name.at("outer").category, "test");
+
+  // Children fall inside the parent's [start, start + duration] window.
+  const SpanRecord& outer = by_name.at("outer");
+  const SpanRecord& inner = by_name.at("inner");
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+}
+
+TEST_F(ObsTest, CloseReturnsRecordedDurationAndIsIdempotent) {
+  ObsSpan span("timed", "test");
+  const double first = span.Close();
+  const double second = span.Close();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(first, second);  // Idempotent, no re-measurement.
+
+  const std::vector<SpanRecord> spans = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);  // Destructor must not re-record.
+  EXPECT_DOUBLE_EQ(static_cast<double>(spans[0].duration_ns) / 1e9, first);
+}
+
+TEST_F(ObsTest, SpansMeasureButDoNotRecordWhenDisabled) {
+  SetTracingEnabled(false);
+  ObsSpan span("ghost");
+  const double elapsed = span.Close();
+  EXPECT_GE(elapsed, 0.0);  // Still measures (stats are derived from spans).
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentSpansAndCountersSurviveSmokeTest) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 50;
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.smoke");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ObsSpan outer("t.outer", "test");
+        ObsSpan inner("t.inner", "test");
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  const std::vector<SpanRecord> spans = TraceRecorder::Global().Snapshot();
+  EXPECT_EQ(spans.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 2);
+  for (const SpanRecord& span : spans) {
+    // Depth tracking must stay per-thread: only 0 (outer) or 1 (inner).
+    if (span.name == "t.outer") {
+      EXPECT_EQ(span.depth, 0);
+    } else {
+      EXPECT_EQ(span.depth, 1);
+    }
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
+  {
+    ObsSpan outer("phase \"quoted\"\n", "cat");
+    ObsSpan inner("child", "cat", "with\\backslash");
+  }
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_TRUE(root.object.count("traceEvents"));
+  const JsonValue& events = root.object.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+
+  for (const JsonValue& event : events.array) {
+    ASSERT_EQ(event.kind, JsonValue::kObject);
+    EXPECT_EQ(event.object.at("ph").string, "X");
+    EXPECT_EQ(event.object.at("pid").number, 1.0);
+    EXPECT_GE(event.object.at("dur").number, 0.0);
+    EXPECT_GE(event.object.at("ts").number, 0.0);
+  }
+  // Escaping round-trips: the quoted/newlined name survives parsing.
+  bool found_quoted = false;
+  for (const JsonValue& event : events.array) {
+    if (event.object.at("name").string == "phase \"quoted\"\n") {
+      found_quoted = true;
+    }
+  }
+  EXPECT_TRUE(found_quoted);
+}
+
+TEST_F(ObsTest, JsonlEmitsOneObjectPerLine) {
+  {
+    ObsSpan a("a");
+    ObsSpan b("b");
+  }
+  const std::string jsonl = TraceRecorder::Global().ToJsonl();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      JsonValue value;
+      EXPECT_TRUE(JsonParser(line).Parse(&value)) << line;
+      EXPECT_EQ(value.kind, JsonValue::kObject);
+      EXPECT_TRUE(value.object.count("name"));
+      EXPECT_TRUE(value.object.count("dur_us"));
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// ---- Metrics -----------------------------------------------------------
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.counter");
+  counter.Add(3);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 4u);
+
+  // Same name returns the same instance.
+  EXPECT_EQ(&counter, &MetricsRegistry::Global().GetCounter("test.counter"));
+
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Set(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);  // Last write wins.
+}
+
+TEST_F(ObsTest, MetricsAreNoOpsWhenDisabled) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.off");
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.off_gauge");
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.off_hist", {1.0});
+  SetMetricsEnabled(false);
+  counter.Add(10);
+  gauge.Set(9.0);
+  histogram.Observe(0.5);
+  CountPredictCall();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+
+  SetMetricsEnabled(true);
+  counter.Add(10);
+  EXPECT_EQ(counter.value(), 10u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesUseLeSemantics) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test.hist", {0.1, 1.0, 10.0});
+
+  histogram.Observe(0.05);  // <= 0.1          -> bucket 0
+  histogram.Observe(0.1);   // == bound, "le"  -> bucket 0
+  histogram.Observe(0.5);   // <= 1.0          -> bucket 1
+  histogram.Observe(1.0);   // == bound        -> bucket 1
+  histogram.Observe(10.0);  // == last bound   -> bucket 2
+  histogram.Observe(50.0);  // above all       -> overflow
+
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  ASSERT_EQ(snapshot.buckets.size(), 4u);
+  EXPECT_EQ(snapshot.buckets[0], 2u);
+  EXPECT_EQ(snapshot.buckets[1], 2u);
+  EXPECT_EQ(snapshot.buckets[2], 1u);
+  EXPECT_EQ(snapshot.buckets[3], 1u);  // Overflow.
+  EXPECT_EQ(snapshot.count, 6u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.05 + 0.1 + 0.5 + 1.0 + 10.0 + 50.0);
+}
+
+TEST_F(ObsTest, SnapshotIncludesPredictCallsAndSorts) {
+  MetricsRegistry::Global().GetCounter("test.zzz").Add(1);
+  MetricsRegistry::Global().GetCounter("test.aaa").Add(2);
+  CountPredictCall();
+  CountPredictCall();
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  uint64_t predict_calls = 0;
+  bool saw_aaa = false, saw_zzz_after_aaa = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "ml.predict_calls") predict_calls = value;
+    if (name == "test.aaa") saw_aaa = true;
+    if (name == "test.zzz") saw_zzz_after_aaa = saw_aaa;
+  }
+  EXPECT_EQ(predict_calls, 2u);
+  EXPECT_TRUE(saw_zzz_after_aaa);  // Deterministic (sorted) ordering.
+}
+
+TEST_F(ObsTest, ResetAllZeroesEverything) {
+  MetricsRegistry::Global().GetCounter("test.c").Add(5);
+  MetricsRegistry::Global().GetGauge("test.g").Set(5.0);
+  MetricsRegistry::Global().GetHistogram("test.h", {1.0}).Observe(0.5);
+  CountPredictCall();
+
+  MetricsRegistry::Global().ResetAll();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_DOUBLE_EQ(value, 0.0) << name;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    EXPECT_EQ(hist.count, 0u) << name;
+  }
+}
+
+TEST_F(ObsTest, TextAndCsvDumpsContainEveryMetric) {
+  MetricsRegistry::Global().GetCounter("test.dump_counter").Add(7);
+  MetricsRegistry::Global().GetGauge("test.dump_gauge").Set(3.5);
+  MetricsRegistry::Global()
+      .GetHistogram("test.dump_hist", {1.0, 2.0})
+      .Observe(1.5);
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("test.dump_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.dump_gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.dump_hist"), std::string::npos);
+
+  const std::string csv = snapshot.ToCsv();
+  EXPECT_NE(csv.find("counter,test.dump_counter"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,test.dump_gauge"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,test.dump_hist"), std::string::npos);
+  // One row per histogram bucket (2 finite + overflow) plus count and sum.
+  size_t hist_rows = 0;
+  size_t pos = 0;
+  while ((pos = csv.find("histogram,test.dump_hist", pos)) !=
+         std::string::npos) {
+    ++hist_rows;
+    pos += 1;
+  }
+  EXPECT_GE(hist_rows, 5u);
+}
+
+TEST_F(ObsTest, HistogramBoundsFixedByFirstRegistration) {
+  Histogram& first =
+      MetricsRegistry::Global().GetHistogram("test.fixed", {1.0, 2.0});
+  Histogram& second =
+      MetricsRegistry::Global().GetHistogram("test.fixed", {5.0});
+  EXPECT_EQ(&first, &second);
+  ASSERT_EQ(second.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(second.bounds()[0], 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace alem

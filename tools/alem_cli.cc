@@ -8,7 +8,12 @@
 //   alem_cli run --dataset=<name> --approach=<name>
 //       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
+//       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
 //       Runs one active-learning experiment and prints the learning curve.
+//       --trace captures every pipeline span (prepare/train/evaluate/
+//       select/label/fit) as Chrome trace-event JSON for chrome://tracing
+//       or Perfetto; --metrics dumps the counter/gauge/histogram registry
+//       as CSV (see docs/observability.md).
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on
@@ -24,6 +29,7 @@
 #include "core/harness.h"
 #include "ml/metrics.h"
 #include "ml/serialization.h"
+#include "obs/obs.h"
 #include "synth/profiles.h"
 #include "util/flags.h"
 
@@ -97,6 +103,52 @@ int SaveModel(const RunResult& result, const std::string& path) {
   return 0;
 }
 
+// Enables observability subsystems per the --trace/--trace-jsonl/--metrics
+// flags. Must run before PrepareDataset so preprocessing spans are captured.
+void EnableObservability(const FlagParser& flags) {
+  if (flags.Has("trace") || flags.Has("trace-jsonl")) {
+    obs::SetTracingEnabled(true);
+  }
+  if (flags.Has("metrics") || flags.Has("trace") ||
+      flags.Has("trace-jsonl")) {
+    obs::SetMetricsEnabled(true);
+  }
+}
+
+// Writes the requested trace/metrics exports; returns 0 on success.
+int ExportObservability(const FlagParser& flags) {
+  int status = 0;
+  if (flags.Has("trace")) {
+    const std::string path = flags.GetString("trace", "trace.json");
+    if (obs::TraceRecorder::Global().WriteChromeTrace(path)) {
+      std::printf("trace written to %s (%zu spans)\n", path.c_str(),
+                  obs::TraceRecorder::Global().size());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+      status = 1;
+    }
+  }
+  if (flags.Has("trace-jsonl")) {
+    const std::string path = flags.GetString("trace-jsonl", "trace.jsonl");
+    if (obs::TraceRecorder::Global().WriteJsonl(path)) {
+      std::printf("span JSONL written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write spans to %s\n", path.c_str());
+      status = 1;
+    }
+  }
+  if (flags.Has("metrics")) {
+    const std::string path = flags.GetString("metrics", "metrics.csv");
+    if (obs::MetricsRegistry::Global().WriteCsv(path)) {
+      std::printf("metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+      status = 1;
+    }
+  }
+  return status;
+}
+
 int CommandRun(const FlagParser& flags) {
   const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
   const std::string approach_name = flags.GetString("approach", "trees20");
@@ -107,6 +159,7 @@ int CommandRun(const FlagParser& flags) {
                  approach_name.c_str());
     return 1;
   }
+  EnableObservability(flags);
   const SynthProfile profile = ProfileByName(dataset_name);
   const PreparedDataset data =
       PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
@@ -143,10 +196,13 @@ int CommandRun(const FlagParser& flags) {
     std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
   }
 
+  const int obs_status = ExportObservability(flags);
   if (flags.Has("save-model")) {
-    return SaveModel(result, flags.GetString("save-model", "model.txt"));
+    const int save_status =
+        SaveModel(result, flags.GetString("save-model", "model.txt"));
+    if (save_status != 0) return save_status;
   }
-  return 0;
+  return obs_status;
 }
 
 int CommandApply(const FlagParser& flags) {
@@ -210,7 +266,9 @@ int Main(int argc, char** argv) {
       "  alem_cli list\n"
       "  alem_cli stats --dataset=Abt-Buy\n"
       "  alem_cli run --dataset=Abt-Buy --approach=trees20 "
-      "--max-labels=300\n");
+      "--max-labels=300\n"
+      "  alem_cli run --dataset=Abt-Buy --approach=linear-margin "
+      "--trace=out.json --metrics=out.csv\n");
   return command == "help" ? 0 : 1;
 }
 

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Summarize and validate alembench Chrome trace files.
+
+Default mode prints the top-N span names by *self* time (wall time minus
+the wall time of nested child spans), which is the first question a trace
+answers: where does an active-learning run actually spend its time?
+
+Modes:
+  trace_summary.py TRACE.json [--top N] [--metrics METRICS.csv]
+      Print per-span-name aggregates (count, total, self) sorted by self
+      time; when --metrics is given, append the metrics CSV contents.
+  trace_summary.py --check TRACE.json --metrics METRICS.csv
+      Validate the artifacts: the trace must be well-formed Chrome
+      trace-event JSON whose every iteration contains train / evaluate /
+      select / label spans, and the metrics CSV must report nonzero
+      selector.scored_examples and oracle.queries. Exits nonzero on any
+      violation (used by ctest).
+  trace_summary.py --run-cli PATH/TO/alem_cli --check
+      Run a tiny synthetic experiment through alem_cli with --trace and
+      --metrics, then validate the emitted artifacts as above.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Spans that must appear inside every loop.iteration span (the pipeline
+# phases the paper's latency figures are built from).
+REQUIRED_PHASE_SPANS = ("loop.train", "loop.evaluate", "loop.select",
+                        "loop.label")
+# Metrics that a real run can never legitimately leave at zero.
+REQUIRED_NONZERO_COUNTERS = ("selector.scored_examples", "oracle.queries")
+
+
+def load_trace(path):
+    """Parses a Chrome trace file; returns its complete ("X") events."""
+    with open(path, "r", encoding="utf-8") as f:
+        root = json.load(f)
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        raise ValueError(f"{path}: no traceEvents array")
+    events = [e for e in root["traceEvents"] if e.get("ph") == "X"]
+    for event in events:
+        for field in ("name", "ts", "dur", "tid"):
+            if field not in event:
+                raise ValueError(f"{path}: event missing '{field}': {event}")
+    return events
+
+
+def self_times(events):
+    """Returns {span name: (count, total_us, self_us)} aggregates.
+
+    Self time is an event's duration minus the duration of the events
+    nested inside it on the same thread (containment by [ts, ts+dur]).
+    """
+    aggregates = {}
+    by_tid = {}
+    for event in events:
+        by_tid.setdefault(event["tid"], []).append(event)
+    for tid_events in by_tid.values():
+        # Parents sort before their children: earlier start, longer first.
+        tid_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, name) of open ancestors.
+        self_us = [e["dur"] for e in tid_events]
+        for i, event in enumerate(tid_events):
+            while stack and stack[-1][0] <= event["ts"]:
+                stack.pop()
+            if stack:
+                parent_index = stack[-1][1]
+                self_us[parent_index] -= event["dur"]
+            stack.append((event["ts"] + event["dur"], i))
+        for i, event in enumerate(tid_events):
+            count, total, self_time = aggregates.get(event["name"], (0, 0.0,
+                                                                     0.0))
+            aggregates[event["name"]] = (count + 1, total + event["dur"],
+                                         self_time + self_us[i])
+    return aggregates
+
+
+def print_summary(events, top):
+    aggregates = self_times(events)
+    rows = sorted(aggregates.items(), key=lambda kv: -kv[1][2])[:top]
+    print(f"{'span':<28} {'count':>7} {'total(ms)':>11} {'self(ms)':>11}")
+    for name, (count, total_us, self_us) in rows:
+        print(f"{name:<28} {count:>7} {total_us / 1e3:>11.3f} "
+              f"{self_us / 1e3:>11.3f}")
+
+
+def read_counters(metrics_path):
+    """Returns {name: value} for the counter rows of a metrics CSV."""
+    counters = {}
+    with open(metrics_path, "r", encoding="utf-8") as f:
+        header = f.readline().strip()
+        if header != "kind,name,field,value":
+            raise ValueError(f"{metrics_path}: unexpected header '{header}'")
+        for line in f:
+            parts = line.strip().split(",")
+            if len(parts) == 4 and parts[0] == "counter":
+                counters[parts[1]] = int(parts[3])
+    return counters
+
+
+def check(trace_path, metrics_path):
+    """Validates the artifacts; returns a list of failure strings."""
+    failures = []
+    try:
+        events = load_trace(trace_path)
+    except (ValueError, json.JSONDecodeError, OSError) as error:
+        return [f"trace unreadable: {error}"]
+    if not events:
+        failures.append("trace contains no spans")
+
+    counts = {}
+    for event in events:
+        counts[event["name"]] = counts.get(event["name"], 0) + 1
+    iterations = counts.get("loop.iteration", 0)
+    if iterations == 0:
+        failures.append("no loop.iteration spans in trace")
+    for name in REQUIRED_PHASE_SPANS:
+        if counts.get(name, 0) < iterations:
+            failures.append(
+                f"{name}: {counts.get(name, 0)} spans for {iterations} "
+                "iterations (every iteration must contain one)")
+
+    # Phase spans must nest inside an iteration span on the same thread.
+    iteration_windows = {}
+    for event in events:
+        if event["name"] == "loop.iteration":
+            iteration_windows.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"]))
+    for event in events:
+        if event["name"] not in REQUIRED_PHASE_SPANS:
+            continue
+        windows = iteration_windows.get(event["tid"], [])
+        inside = any(start <= event["ts"] and
+                     event["ts"] + event["dur"] <= end + 1e-3
+                     for start, end in windows)
+        if not inside:
+            failures.append(f"{event['name']} span at ts={event['ts']} is "
+                            "not nested in any loop.iteration span")
+            break
+
+    if metrics_path is None:
+        failures.append("--check requires --metrics")
+        return failures
+    try:
+        counters = read_counters(metrics_path)
+    except (ValueError, OSError) as error:
+        failures.append(f"metrics unreadable: {error}")
+        return failures
+    for name in REQUIRED_NONZERO_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            failures.append(f"counter {name} is zero or missing")
+    return failures
+
+
+def run_cli(cli_path, out_dir):
+    """Runs a tiny traced experiment; returns (trace_path, metrics_path)."""
+    trace_path = os.path.join(out_dir, "smoke.trace.json")
+    metrics_path = os.path.join(out_dir, "smoke.metrics.csv")
+    command = [
+        cli_path, "run", "--dataset=Abt-Buy", "--approach=linear-margin",
+        "--scale=0.25", "--max-labels=60", "--quiet",
+        f"--trace={trace_path}", f"--metrics={metrics_path}"
+    ]
+    print("+", " ".join(command))
+    subprocess.run(command, check=True)
+    return trace_path, metrics_path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="Chrome trace JSON file")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the self-time summary")
+    parser.add_argument("--metrics", help="metrics CSV to read")
+    parser.add_argument("--check", action="store_true",
+                        help="validate instead of summarize; nonzero exit "
+                             "on violations")
+    parser.add_argument("--run-cli", metavar="ALEM_CLI",
+                        help="run a tiny traced experiment through this "
+                             "alem_cli binary first")
+    args = parser.parse_args()
+
+    if args.run_cli:
+        with tempfile.TemporaryDirectory(prefix="alem_trace_") as out_dir:
+            trace_path, metrics_path = run_cli(args.run_cli, out_dir)
+            return finish(args, trace_path, metrics_path)
+    if not args.trace:
+        parser.error("a trace file (or --run-cli) is required")
+    return finish(args, args.trace, args.metrics)
+
+
+def finish(args, trace_path, metrics_path):
+    if args.check:
+        failures = check(trace_path, metrics_path)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("trace + metrics OK "
+              f"({trace_path}, {metrics_path})")
+        return 0
+    print_summary(load_trace(trace_path), args.top)
+    if metrics_path:
+        with open(metrics_path, "r", encoding="utf-8") as f:
+            print()
+            print(f.read(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
