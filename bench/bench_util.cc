@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "obs/obs.h"
+#include "parallel/pool.h"
 #include "util/csv.h"
 
 // Injected by bench/CMakeLists.txt from `git describe` at configure time.
@@ -81,6 +82,9 @@ void PrintHeader(const std::string& artifact,
   std::printf("scale=%.2f (override with ALEM_SCALE / ALEM_MAX_LABELS / "
               "ALEM_RUNS)\n",
               ScaleFromEnv());
+  std::printf("threads=%d (override with ALEM_THREADS; 1 = serial, results "
+              "identical at any count)\n",
+              parallel::NumThreads());
   std::printf("==============================================================\n");
 
   const char* trace_dir = std::getenv("ALEM_TRACE_DIR");

@@ -6,6 +6,9 @@
 //   ALEM_SCALE      dataset size multiplier        (default 1.0)
 //   ALEM_MAX_LABELS label budget per run           (default per-bench)
 //   ALEM_RUNS       repetitions for noisy oracles  (default per-bench)
+//   ALEM_THREADS    worker threads for committee fits / example scoring /
+//                   forest fits (default hardware concurrency; 1 = serial;
+//                   results are identical at any count)
 //   ALEM_CSV_DIR    when set, every printed series table is also written
 //                   as <dir>/<sanitized title>.csv for plotting
 //   ALEM_TRACE_DIR  when set, enables the obs subsystem and writes

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "parallel/pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -106,9 +107,16 @@ std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
       obs::ObsSpan evaluate_span("loop.evaluate", "core");
       const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
       std::vector<int> predictions(eval_rows.size());
-      for (size_t i = 0; i < eval_rows.size(); ++i) {
-        predictions[i] = learner_.Predict(pool.features().Row(eval_rows[i]));
-      }
+      parallel::ParallelFor(
+          0, eval_rows.size(), 512,
+          [&](size_t begin, size_t end, size_t chunk) {
+            (void)chunk;
+            for (size_t i = begin; i < end; ++i) {
+              predictions[i] =
+                  learner_.Predict(pool.features().Row(eval_rows[i]));
+            }
+          },
+          "loop.evaluate");
       stats.metrics = evaluator_.Evaluate(predictions);
       CollectInterpretability(learner_, &stats);
 

@@ -1,6 +1,7 @@
 #include "core/learner.h"
 
 #include "obs/obs.h"
+#include "parallel/pool.h"
 
 namespace alem {
 
@@ -18,10 +19,18 @@ void Learner::Fit(const FeatureMatrix& features,
 }
 
 std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
+  // Chunked over rows; each chunk writes its own disjoint slice, so the
+  // result is identical at any thread count.
   std::vector<int> predictions(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    predictions[i] = Predict(features.Row(i));
-  }
+  parallel::ParallelFor(
+      0, features.rows(), 512,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t i = begin; i < end; ++i) {
+          predictions[i] = Predict(features.Row(i));
+        }
+      },
+      "ml.predict_batch");
   return predictions;
 }
 

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "obs/obs.h"
+#include "parallel/pool.h"
 #include "util/check.h"
 
 namespace alem {
 namespace {
+
+// Rows per ParallelFor chunk when scoring the unlabeled pool. Small enough
+// to load-balance across workers, large enough to amortize dispatch.
+constexpr size_t kScoringGrain = 256;
 
 // Scored candidate with a random key for tie-breaking; sorting is by
 // (score, tie) so equal scores resolve uniformly at random.
@@ -57,7 +63,57 @@ void CountPruned(size_t pruned) {
   counter.Add(pruned);
 }
 
+// Bootstrap-fits a committee of `committee_size` clones of `model`, one
+// member per pool task. Member seeds come from MemberSeeds(round_seed, m),
+// so the result is identical at every thread count.
+std::vector<std::unique_ptr<Learner>> FitBootstrapCommittee(
+    const Learner& model, const ActivePool& pool, int committee_size,
+    uint64_t round_seed) {
+  const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
+  const std::vector<int> labeled_labels = pool.ActiveLabeledLabels();
+  ALEM_CHECK(!labeled_rows.empty());
+
+  std::vector<std::unique_ptr<Learner>> committee(
+      static_cast<size_t>(committee_size));
+  parallel::ParallelFor(
+      0, static_cast<size_t>(committee_size), 1,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t member = begin; member < end; ++member) {
+          const CommitteeMemberSeeds seeds =
+              MemberSeeds(round_seed, static_cast<int>(member));
+          Rng member_rng(seeds.resample_seed);
+          const std::vector<size_t> sample = member_rng.SampleWithReplacement(
+              labeled_rows.size(), labeled_rows.size());
+          std::vector<size_t> rows(sample.size());
+          std::vector<int> labels(sample.size());
+          for (size_t i = 0; i < sample.size(); ++i) {
+            rows[i] = labeled_rows[sample[i]];
+            labels[i] = labeled_labels[sample[i]];
+          }
+          std::unique_ptr<Learner> clone = model.CloneUntrained();
+          clone->set_seed(seeds.learner_seed);
+          clone->Fit(pool.features().Gather(rows), labels);
+          committee[member] = std::move(clone);
+        }
+      },
+      "selector.committee");
+  return committee;
+}
+
 }  // namespace
+
+CommitteeMemberSeeds MemberSeeds(uint64_t round_seed, int member) {
+  std::seed_seq sequence{static_cast<uint32_t>(round_seed),
+                         static_cast<uint32_t>(round_seed >> 32),
+                         static_cast<uint32_t>(member)};
+  uint32_t words[4];
+  sequence.generate(words, words + 4);
+  CommitteeMemberSeeds seeds;
+  seeds.resample_seed = words[0] | (uint64_t{words[1]} << 32);
+  seeds.learner_seed = words[2] | (uint64_t{words[3]} << 32);
+  return seeds;
+}
 
 // ---- RandomSelector ----
 
@@ -100,43 +156,38 @@ std::vector<size_t> QbcSelector::Select(const Learner& model,
   if (unlabeled.empty()) return {};
 
   // Committee creation: bootstrap-resample the labeled data and train one
-  // clone per member. This is the dominant cost of learner-agnostic QBC
-  // (dashed lines in Fig. 10a-b).
+  // clone per member (one pool task each). This is the dominant cost of
+  // learner-agnostic QBC (dashed lines in Fig. 10a-b).
   obs::ObsSpan committee_span("selector.committee", "selector", name_);
-  const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
-  const std::vector<int> labeled_labels = pool.ActiveLabeledLabels();
-  ALEM_CHECK(!labeled_rows.empty());
-
-  std::vector<std::unique_ptr<Learner>> committee;
-  committee.reserve(static_cast<size_t>(committee_size_));
-  for (int member = 0; member < committee_size_; ++member) {
-    const std::vector<size_t> sample =
-        rng_.SampleWithReplacement(labeled_rows.size(), labeled_rows.size());
-    std::vector<size_t> rows(sample.size());
-    std::vector<int> labels(sample.size());
-    for (size_t i = 0; i < sample.size(); ++i) {
-      rows[i] = labeled_rows[sample[i]];
-      labels[i] = labeled_labels[sample[i]];
-    }
-    std::unique_ptr<Learner> clone = model.CloneUntrained();
-    clone->set_seed(rng_.Next());
-    clone->Fit(pool.features().Gather(rows), labels);
-    committee.push_back(std::move(clone));
-  }
+  const uint64_t round_seed = rng_.Next();
+  const std::vector<std::unique_ptr<Learner>> committee =
+      FitBootstrapCommittee(model, pool, committee_size_, round_seed);
   const double committee_seconds = committee_span.Close();
 
-  // Example scoring: committee vote variance per unlabeled example.
+  // Example scoring: committee vote variance per unlabeled example, chunked
+  // over the unlabeled pool. Tie keys are hashed from (tie_seed, row) so
+  // they do not depend on scoring order.
   obs::ObsSpan scoring_span("selector.scoring", "selector", name_);
-  std::vector<ScoredRow> scored;
-  scored.reserve(unlabeled.size());
-  for (const size_t row : unlabeled) {
-    const float* x = pool.features().Row(row);
-    int positive_votes = 0;
-    for (const auto& member : committee) positive_votes += member->Predict(x);
-    const double p = static_cast<double>(positive_votes) /
-                     static_cast<double>(committee_size_);
-    scored.push_back(ScoredRow{row, p * (1.0 - p), rng_.Next()});
-  }
+  const uint64_t tie_seed = rng_.Next();
+  std::vector<ScoredRow> scored(unlabeled.size());
+  parallel::ParallelFor(
+      0, unlabeled.size(), kScoringGrain,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t i = begin; i < end; ++i) {
+          const size_t row = unlabeled[i];
+          const float* x = pool.features().Row(row);
+          int positive_votes = 0;
+          for (const auto& member : committee) {
+            positive_votes += member->Predict(x);
+          }
+          const double p = static_cast<double>(positive_votes) /
+                           static_cast<double>(committee_size_);
+          scored[i] =
+              ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
+        }
+      },
+      "selector.scoring");
   std::vector<size_t> rows = TopKLargest(scored, k);
   const double scoring_seconds = scoring_span.Close();
   CountScored(unlabeled.size());
@@ -164,14 +215,22 @@ std::vector<size_t> ForestQbcSelector::Select(const Learner& model,
   if (unlabeled.empty()) return {};
 
   // The committee already exists (it was trained as part of the forest), so
-  // selection is scoring only.
+  // selection is scoring only, chunked over the unlabeled pool.
   obs::ObsSpan scoring_span("selector.scoring", "selector", "ForestQBC");
-  std::vector<ScoredRow> scored;
-  scored.reserve(unlabeled.size());
-  for (const size_t row : unlabeled) {
-    const double p = forest->PositiveFraction(pool.features().Row(row));
-    scored.push_back(ScoredRow{row, p * (1.0 - p), rng_.Next()});
-  }
+  const uint64_t tie_seed = rng_.Next();
+  std::vector<ScoredRow> scored(unlabeled.size());
+  parallel::ParallelFor(
+      0, unlabeled.size(), kScoringGrain,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t i = begin; i < end; ++i) {
+          const size_t row = unlabeled[i];
+          const double p = forest->PositiveFraction(pool.features().Row(row));
+          scored[i] =
+              ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
+        }
+      },
+      "selector.scoring");
   std::vector<size_t> rows = TopKLargest(scored, k);
   const double scoring_seconds = scoring_span.Close();
   CountScored(unlabeled.size());
@@ -206,27 +265,47 @@ std::vector<size_t> MarginSelector::Select(const Learner& model,
     blocking = margin_learner->BlockingDimensions(blocking_dims_);
   }
 
+  // Blocking makes the per-chunk output variable-length, so chunks fill
+  // private slots that are concatenated in chunk index order afterwards —
+  // the merged order equals the serial scan order at any thread count.
   obs::ObsSpan scoring_span("selector.scoring", "selector", "Margin");
+  const size_t num_chunks =
+      parallel::NumChunks(0, unlabeled.size(), kScoringGrain);
+  std::vector<std::vector<ScoredRow>> chunk_scored(num_chunks);
+  std::vector<size_t> chunk_pruned(num_chunks, 0);
+  parallel::ParallelFor(
+      0, unlabeled.size(), kScoringGrain,
+      [&](size_t begin, size_t end, size_t chunk) {
+        std::vector<ScoredRow>& local = chunk_scored[chunk];
+        local.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const size_t row = unlabeled[i];
+          const float* x = pool.features().Row(row);
+          if (!blocking.empty()) {
+            bool all_zero = true;
+            for (const size_t dim : blocking) {
+              if (x[dim] != 0.0f) {
+                all_zero = false;
+                break;
+              }
+            }
+            if (all_zero) {
+              ++chunk_pruned[chunk];
+              continue;
+            }
+          }
+          local.push_back(
+              ScoredRow{row, std::abs(margin_learner->Margin(x)), 0});
+        }
+      },
+      "selector.scoring");
   std::vector<ScoredRow> scored;
   scored.reserve(unlabeled.size());
   size_t pruned = 0;
-  for (const size_t row : unlabeled) {
-    const float* x = pool.features().Row(row);
-    if (!blocking.empty()) {
-      bool all_zero = true;
-      for (const size_t dim : blocking) {
-        if (x[dim] != 0.0f) {
-          all_zero = false;
-          break;
-        }
-      }
-      if (all_zero) {
-        ++pruned;
-        continue;
-      }
-    }
-    scored.push_back(
-        ScoredRow{row, std::abs(margin_learner->Margin(x)), 0});
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    scored.insert(scored.end(), chunk_scored[chunk].begin(),
+                  chunk_scored[chunk].end());
+    pruned += chunk_pruned[chunk];
   }
   std::vector<size_t> rows = TopKSmallest(scored, k);
   const double scoring_seconds = scoring_span.Close();
@@ -263,30 +342,16 @@ std::vector<size_t> IwalSelector::Select(const Learner& model,
   const std::vector<size_t>& unlabeled = pool.unlabeled_rows();
   if (unlabeled.empty()) return {};
 
-  // Bootstrap committee, exactly as in QBC.
+  // Bootstrap committee, exactly as in QBC (one parallel task per member).
   obs::ObsSpan committee_span("selector.committee", "selector", name_);
-  const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
-  const std::vector<int> labeled_labels = pool.ActiveLabeledLabels();
-  ALEM_CHECK(!labeled_rows.empty());
-  std::vector<std::unique_ptr<Learner>> committee;
-  committee.reserve(static_cast<size_t>(committee_size_));
-  for (int member = 0; member < committee_size_; ++member) {
-    const std::vector<size_t> sample =
-        rng_.SampleWithReplacement(labeled_rows.size(), labeled_rows.size());
-    std::vector<size_t> rows(sample.size());
-    std::vector<int> labels(sample.size());
-    for (size_t i = 0; i < sample.size(); ++i) {
-      rows[i] = labeled_rows[sample[i]];
-      labels[i] = labeled_labels[sample[i]];
-    }
-    std::unique_ptr<Learner> clone = model.CloneUntrained();
-    clone->set_seed(rng_.Next());
-    clone->Fit(pool.features().Gather(rows), labels);
-    committee.push_back(std::move(clone));
-  }
+  const uint64_t round_seed = rng_.Next();
+  const std::vector<std::unique_ptr<Learner>> committee =
+      FitBootstrapCommittee(model, pool, committee_size_, round_seed);
   const double committee_seconds = committee_span.Close();
 
-  // Rejection sampling: visit unlabeled examples in random order and keep
+  // Rejection sampling stays serial: each keep/skip decision consumes the
+  // shared Bernoulli stream in visit order, so it is order-dependent by
+  // construction. Visit unlabeled examples in random order and keep
   // each with probability p_min + (1 - p_min) * 4 * variance.
   obs::ObsSpan scoring_span("selector.scoring", "selector", name_);
   std::vector<size_t> visit(unlabeled);
@@ -362,32 +427,38 @@ std::vector<size_t> DensityWeightedSelector::Select(const Learner& model,
     reference_norms[i] = std::sqrt(norm);
   }
 
-  std::vector<ScoredRow> scored;
-  scored.reserve(unlabeled.size());
-  for (const size_t row : unlabeled) {
-    const float* x = pool.features().Row(row);
-    double x_norm = 0.0;
-    for (size_t d = 0; d < dims; ++d) {
-      x_norm += static_cast<double>(x[d]) * x[d];
-    }
-    x_norm = std::sqrt(x_norm);
+  std::vector<ScoredRow> scored(unlabeled.size());
+  parallel::ParallelFor(
+      0, unlabeled.size(), kScoringGrain,
+      [&](size_t chunk_begin, size_t chunk_end, size_t chunk) {
+        (void)chunk;
+        for (size_t index = chunk_begin; index < chunk_end; ++index) {
+          const size_t row = unlabeled[index];
+          const float* x = pool.features().Row(row);
+          double x_norm = 0.0;
+          for (size_t d = 0; d < dims; ++d) {
+            x_norm += static_cast<double>(x[d]) * x[d];
+          }
+          x_norm = std::sqrt(x_norm);
 
-    double density = 0.0;
-    for (size_t i = 0; i < sample_size; ++i) {
-      double dot = 0.0;
-      for (size_t d = 0; d < dims; ++d) {
-        dot += static_cast<double>(x[d]) * reference[i][d];
-      }
-      const double denom = x_norm * reference_norms[i];
-      density += denom > 0.0 ? dot / denom : 0.0;
-    }
-    density /= static_cast<double>(sample_size);
+          double density = 0.0;
+          for (size_t i = 0; i < sample_size; ++i) {
+            double dot = 0.0;
+            for (size_t d = 0; d < dims; ++d) {
+              dot += static_cast<double>(x[d]) * reference[i][d];
+            }
+            const double denom = x_norm * reference_norms[i];
+            density += denom > 0.0 ? dot / denom : 0.0;
+          }
+          density /= static_cast<double>(sample_size);
 
-    const double uncertainty =
-        1.0 / (std::abs(margin_learner->Margin(x)) + 1e-6);
-    scored.push_back(
-        ScoredRow{row, uncertainty * std::pow(density, beta_), 0});
-  }
+          const double uncertainty =
+              1.0 / (std::abs(margin_learner->Margin(x)) + 1e-6);
+          scored[index] =
+              ScoredRow{row, uncertainty * std::pow(density, beta_), 0};
+        }
+      },
+      "selector.scoring");
   std::vector<size_t> rows = TopKLargest(scored, k);
   const double scoring_seconds = scoring_span.Close();
   CountScored(unlabeled.size());

@@ -24,6 +24,20 @@
 
 namespace alem {
 
+// Seeds for one bootstrap-committee member, derived from the selection
+// round's base seed through a per-member std::seed_seq. A member's streams
+// depend only on (round_seed, member) — not on committee size or on the
+// order members are fitted — which makes committee construction safe to
+// parallelize and keeps member m's resample stable when the committee
+// grows. (The pre-parallel code drew both seeds from one shared engine
+// consumed in fit order, a latent seed-stability bug even in serial mode.)
+struct CommitteeMemberSeeds {
+  uint64_t resample_seed = 0;  // Drives the member's bootstrap resample.
+  uint64_t learner_seed = 0;   // Reseeds the member learner's randomness.
+};
+
+CommitteeMemberSeeds MemberSeeds(uint64_t round_seed, int member);
+
 struct SelectionTiming {
   double committee_seconds = 0.0;
   double scoring_seconds = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -12,26 +13,49 @@ void RandomForest::Fit(const FeatureMatrix& features,
   ALEM_CHECK_EQ(features.rows(), labels.size());
   ALEM_CHECK_GT(features.rows(), 0u);
   ALEM_CHECK_GT(config_.num_trees, 0);
-  trees_.clear();
-  trees_.reserve(static_cast<size_t>(config_.num_trees));
-
-  Rng rng(config_.seed);
+  const size_t num_trees = static_cast<size_t>(config_.num_trees);
   const size_t n = features.rows();
-  for (int t = 0; t < config_.num_trees; ++t) {
-    DecisionTreeConfig tree_config = config_.tree;
-    tree_config.seed = rng.Next();
-    DecisionTree tree(tree_config);
-    if (config_.bootstrap) {
-      const std::vector<size_t> sample = rng.SampleWithReplacement(n, n);
-      FeatureMatrix sampled = features.Gather(sample);
-      std::vector<int> sampled_labels(n);
-      for (size_t i = 0; i < n; ++i) sampled_labels[i] = labels[sample[i]];
-      tree.Fit(sampled, sampled_labels);
-    } else {
-      tree.Fit(features, labels);
-    }
-    trees_.push_back(std::move(tree));
+
+  // Draw every tree's seed and bootstrap sample serially first — the exact
+  // RNG consumption order of the serial implementation — then fit the trees
+  // in parallel (one per task). Tree fitting is pure given (seed, sample),
+  // so the forest is bitwise-identical at every thread count.
+  struct TreePlan {
+    uint64_t seed = 0;
+    std::vector<size_t> sample;
+  };
+  Rng rng(config_.seed);
+  std::vector<TreePlan> plans(num_trees);
+  for (TreePlan& plan : plans) {
+    plan.seed = rng.Next();
+    if (config_.bootstrap) plan.sample = rng.SampleWithReplacement(n, n);
   }
+
+  trees_.clear();
+  trees_.resize(num_trees);
+  parallel::ParallelFor(
+      0, num_trees, 1,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t t = begin; t < end; ++t) {
+          DecisionTreeConfig tree_config = config_.tree;
+          tree_config.seed = plans[t].seed;
+          DecisionTree tree(tree_config);
+          if (config_.bootstrap) {
+            const std::vector<size_t>& sample = plans[t].sample;
+            FeatureMatrix sampled = features.Gather(sample);
+            std::vector<int> sampled_labels(n);
+            for (size_t i = 0; i < n; ++i) {
+              sampled_labels[i] = labels[sample[i]];
+            }
+            tree.Fit(sampled, sampled_labels);
+          } else {
+            tree.Fit(features, labels);
+          }
+          trees_[t] = std::move(tree);
+        }
+      },
+      "ml.forest_fit");
 }
 
 double RandomForest::PositiveFraction(const float* x) const {
@@ -49,9 +73,15 @@ int RandomForest::Predict(const float* x) const {
 
 std::vector<int> RandomForest::PredictAll(const FeatureMatrix& features) const {
   std::vector<int> predictions(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    predictions[i] = Predict(features.Row(i));
-  }
+  parallel::ParallelFor(
+      0, features.rows(), 512,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t i = begin; i < end; ++i) {
+          predictions[i] = Predict(features.Row(i));
+        }
+      },
+      "ml.predict_batch");
   return predictions;
 }
 

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/pool.h"
+
 namespace alem {
 namespace obs {
 namespace {
@@ -264,6 +266,64 @@ TEST_F(ObsTest, ConcurrentSpansAndCountersSurviveSmokeTest) {
       EXPECT_EQ(span.depth, 1);
     }
   }
+}
+
+TEST_F(ObsTest, ParallelForStressKeepsTracesWellFormed) {
+  // ~10k spans per worker pushed through the pool: 40k elements, two nested
+  // user spans each, plus one "parallel.chunk" span per chunk and the
+  // submitter's aggregate span. The trace must stay parseable and per-thread
+  // nesting must hold under contention.
+  const int original_threads = parallel::NumThreads();
+  parallel::SetNumThreads(8);
+
+  constexpr size_t kElements = 40000;
+  constexpr size_t kGrain = 10;
+  std::atomic<size_t> processed{0};
+  parallel::ParallelFor(
+      0, kElements, kGrain,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          ObsSpan outer("stress.outer", "test");
+          ObsSpan inner("stress.inner", "test");
+          processed.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      "obs.stress");
+  parallel::SetNumThreads(original_threads);
+
+  EXPECT_EQ(processed.load(), kElements);
+  const std::vector<SpanRecord> spans = TraceRecorder::Global().Snapshot();
+  const size_t num_chunks = parallel::NumChunks(0, kElements, kGrain);
+  ASSERT_EQ(spans.size(), 2 * kElements + num_chunks + 1);
+
+  size_t aggregate = 0, chunk_spans = 0, outer_spans = 0, inner_spans = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "obs.stress.parallel") {
+      ++aggregate;
+      EXPECT_EQ(span.depth, 0);  // Submitter thread, top level.
+    } else if (span.name == "parallel.chunk") {
+      ++chunk_spans;
+      EXPECT_EQ(span.depth, 0);  // Workers have their own depth counters.
+      EXPECT_EQ(span.detail, "obs.stress");
+    } else if (span.name == "stress.outer") {
+      ++outer_spans;
+      EXPECT_EQ(span.depth, 1);  // Nested inside its chunk span.
+    } else {
+      ++inner_spans;
+      EXPECT_EQ(span.depth, 2);  // Per-thread nesting holds under load.
+    }
+  }
+  EXPECT_EQ(aggregate, 1u);
+  EXPECT_EQ(chunk_spans, num_chunks);
+  EXPECT_EQ(outer_spans, kElements);
+  EXPECT_EQ(inner_spans, kElements);
+
+  // The full 84k-span trace still exports as valid Chrome-trace JSON.
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root));
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  EXPECT_EQ(root.object.at("traceEvents").array.size(), spans.size());
 }
 
 TEST_F(ObsTest, ChromeTraceJsonParsesBack) {

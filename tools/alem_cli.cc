@@ -8,8 +8,13 @@
 //   alem_cli run --dataset=<name> --approach=<name>
 //       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
+//       [--threads=N]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
 //       Runs one active-learning experiment and prints the learning curve.
+//       --threads sets the worker count for committee fits / example
+//       scoring / forest fits / batch predict (default: ALEM_THREADS env
+//       or hardware concurrency; 1 = the serial path). Results are
+//       bitwise-identical at every thread count (docs/parallelism.md).
 //       --trace captures every pipeline span (prepare/train/evaluate/
 //       select/label/fit) as Chrome trace-event JSON for chrome://tracing
 //       or Perfetto; --metrics dumps the counter/gauge/histogram registry
@@ -30,6 +35,7 @@
 #include "ml/metrics.h"
 #include "ml/serialization.h"
 #include "obs/obs.h"
+#include "parallel/pool.h"
 #include "synth/profiles.h"
 #include "util/flags.h"
 
@@ -160,6 +166,9 @@ int CommandRun(const FlagParser& flags) {
     return 1;
   }
   EnableObservability(flags);
+  if (flags.Has("threads")) {
+    parallel::SetNumThreads(static_cast<int>(flags.GetInt("threads", 1)));
+  }
   const SynthProfile profile = ProfileByName(dataset_name);
   const PreparedDataset data =
       PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
@@ -174,10 +183,14 @@ int CommandRun(const FlagParser& flags) {
   config.holdout = flags.GetBool("holdout", false);
   config.run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
 
-  std::printf("%s on %s (%zu pairs, skew %.3f)%s\n",
+  std::printf("%s on %s (%zu pairs, skew %.3f)%s",
               spec.DisplayName().c_str(), data.name.c_str(),
               data.pairs.size(), data.class_skew,
               config.holdout ? ", holdout 80/20" : ", progressive");
+  if (parallel::NumThreads() > 1) {
+    std::printf(", threads=%d", parallel::NumThreads());
+  }
+  std::printf("\n");
   const RunResult result = RunActiveLearning(data, config);
 
   if (!flags.GetBool("quiet", false)) {
