@@ -2,22 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "parallel/pool.h"
 #include "util/csv.h"
-
-// Injected by bench/CMakeLists.txt from `git describe` at configure time.
-#ifndef ALEM_GIT_SHA
-#define ALEM_GIT_SHA "unknown"
-#endif
 
 namespace alem {
 namespace bench {
 
-const char* BuildGitSha() { return ALEM_GIT_SHA; }
+const char* BuildGitSha() { return obs::BuildStamp(); }
 
 namespace {
 
@@ -26,6 +23,24 @@ namespace {
 std::string& TraceExportBase() {
   static std::string* base = new std::string();
   return *base;
+}
+
+// Likewise for the ALEM_REPORT_DIR flight-recorder export.
+std::string& ReportExportBase() {
+  static std::string* base = new std::string();
+  return *base;
+}
+
+// Unsanitized artifact name + process start, for the report's tool field
+// and wall-clock total.
+std::string& ReportArtifactName() {
+  static std::string* name = new std::string();
+  return *name;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
 }
 
 void ExportTraceAtExit() {
@@ -38,6 +53,25 @@ void ExportTraceAtExit() {
   }
   if (obs::MetricsRegistry::Global().WriteCsv(metrics_path)) {
     std::printf("(metrics written to %s)\n", metrics_path.c_str());
+  }
+}
+
+void ExportReportAtExit() {
+  const std::string& base = ReportExportBase();
+  if (base.empty()) return;
+  obs::RunReport report;
+  report.kind = "bench";
+  report.tool = ReportArtifactName();
+  report.scale = ScaleFromEnv();
+  report.threads = parallel::NumThreads();
+  obs::StampObservability(&report);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ProcessStart())
+          .count();
+  const std::string path = base + ".report.json";
+  if (obs::WriteReportJson(path, report)) {
+    std::printf("(report written to %s)\n", path.c_str());
   }
 }
 
@@ -87,6 +121,7 @@ void PrintHeader(const std::string& artifact,
               parallel::NumThreads());
   std::printf("==============================================================\n");
 
+  ProcessStart();  // Pin the wall-clock origin for the report export.
   const char* trace_dir = std::getenv("ALEM_TRACE_DIR");
   if (trace_dir != nullptr && *trace_dir != '\0') {
     obs::SetTracingEnabled(true);
@@ -96,6 +131,18 @@ void PrintHeader(const std::string& artifact,
         std::string(trace_dir) + "/" + SanitizeFileName(artifact);
     if (first) std::atexit(ExportTraceAtExit);
     std::printf("(tracing to %s.trace.json)\n", TraceExportBase().c_str());
+  }
+  const char* report_dir = std::getenv("ALEM_REPORT_DIR");
+  if (report_dir != nullptr && *report_dir != '\0') {
+    obs::SetTracingEnabled(true);  // Span rollup needs recorded spans.
+    obs::SetMetricsEnabled(true);
+    const bool first = ReportExportBase().empty();
+    ReportExportBase() =
+        std::string(report_dir) + "/" + SanitizeFileName(artifact);
+    ReportArtifactName() = artifact;
+    if (first) std::atexit(ExportReportAtExit);
+    std::printf("(reporting to %s.report.json)\n",
+                ReportExportBase().c_str());
   }
 }
 

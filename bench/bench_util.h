@@ -16,6 +16,12 @@
 //                   Perfetto-loadable) and <dir>/<...>.metrics.csv at exit,
 //                   so every paper-figure bench emits a trace alongside
 //                   its CSV (see docs/observability.md)
+//   ALEM_REPORT_DIR when set, enables the obs subsystem and writes the
+//                   "bench"-kind RunReport flight-recorder JSON
+//                   (<dir>/<sanitized artifact>.report.json: build stamp,
+//                   counters, span self-time rollup, wall/peak-RSS totals)
+//                   at exit; `alem_report aggregate <dir>` rolls a
+//                   directory of these into BENCH_alembench.json
 
 #ifndef ALEM_BENCH_BENCH_UTIL_H_
 #define ALEM_BENCH_BENCH_UTIL_H_
@@ -36,8 +42,9 @@ size_t RunsFromEnv(size_t default_runs);
 
 // Prints the bench banner: which paper artifact this regenerates, the
 // workload parameters in effect, and the build (git describe) the numbers
-// are attributable to. When ALEM_TRACE_DIR is set this also switches
-// tracing + metrics on and registers an at-exit export into that directory.
+// are attributable to. When ALEM_TRACE_DIR / ALEM_REPORT_DIR is set this
+// also switches tracing + metrics on and registers an at-exit export of
+// the trace/metrics/report artifacts into those directories.
 void PrintHeader(const std::string& artifact, const std::string& description);
 
 // The compile-time git identity baked into this binary ("unknown" when the

@@ -183,6 +183,10 @@ std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
 
     if (batch.empty()) break;  // Termination: budget, target, or selector.
   }
+  // High-water-mark memory at the end of the run, for the flight recorder.
+  static obs::Gauge& peak_rss_gauge =
+      obs::MetricsRegistry::Global().GetGauge("process.peak_rss_bytes");
+  peak_rss_gauge.Set(static_cast<double>(obs::PeakRssBytes()));
   return curve;
 }
 

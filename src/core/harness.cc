@@ -20,6 +20,8 @@ PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
   obs::ObsSpan prepare_span("harness.prepare", "harness", profile.name);
   PreparedDataset prepared;
   prepared.name = profile.name;
+  prepared.data_seed = data_seed;
+  prepared.scale = scale;
   {
     obs::ObsSpan generate_span("harness.generate", "harness");
     prepared.dataset = GenerateDataset(profile, data_seed, scale);

@@ -39,6 +39,11 @@ struct PreparedDataset {
 
   double class_skew = 0.0;
   size_t num_matches = 0;
+
+  // Generation provenance, stamped into RunReport artifacts so a learning
+  // curve is reproducible from its report alone.
+  uint64_t data_seed = 0;
+  double scale = 1.0;
 };
 
 // Generates the dataset and runs the preprocessing pipeline.

@@ -1,0 +1,62 @@
+#include "core/run_report.h"
+
+#include "parallel/pool.h"
+
+namespace alem {
+
+obs::RunReport BuildRunReport(const PreparedDataset& data,
+                              const RunConfig& config,
+                              const RunResult& result, double wall_seconds,
+                              std::string_view tool) {
+  obs::RunReport report;
+  report.kind = "run";
+  report.tool = std::string(tool);
+
+  report.dataset = data.name;
+  report.approach = result.approach_name;
+  report.data_seed = data.data_seed;
+  report.run_seed = config.run_seed;
+  report.scale = data.scale;
+  report.threads = parallel::NumThreads();
+  report.seed_size = config.seed_size;
+  report.batch_size = config.batch_size;
+  report.max_labels = config.max_labels;
+  report.oracle_noise = config.oracle_noise;
+  report.holdout = config.holdout;
+
+  report.curve.reserve(result.curve.size());
+  for (const IterationStats& stats : result.curve) {
+    obs::ReportIteration it;
+    it.iteration = stats.iteration;
+    it.labels_used = stats.labels_used;
+    it.precision = stats.metrics.precision;
+    it.recall = stats.metrics.recall;
+    it.f1 = stats.metrics.f1;
+    it.train_seconds = stats.train_seconds;
+    it.evaluate_seconds = stats.evaluate_seconds;
+    it.select_seconds = stats.select_seconds;
+    it.committee_seconds = stats.committee_seconds;
+    it.scoring_seconds = stats.scoring_seconds;
+    it.label_seconds = stats.label_seconds;
+    it.wait_seconds = stats.wait_seconds;
+    it.scored_examples = stats.scored_examples;
+    it.pruned_examples = stats.pruned_examples;
+    it.dnf_atoms = stats.dnf_atoms;
+    it.tree_depth = stats.tree_depth;
+    it.ensemble_size = stats.ensemble_size;
+    report.curve.push_back(it);
+  }
+
+  report.best_f1 = result.best_f1;
+  report.final_f1 =
+      result.curve.empty() ? 0.0 : result.curve.back().metrics.f1;
+  report.labels_to_converge = result.labels_to_converge;
+  report.total_wait_seconds = result.total_wait_seconds;
+  report.ensemble_accepted = result.ensemble_accepted;
+
+  obs::StampObservability(&report);
+  report.wall_seconds = wall_seconds;
+  return report;
+}
+
+}  // namespace alem

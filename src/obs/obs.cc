@@ -4,7 +4,13 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace alem {
 namespace obs {
@@ -117,6 +123,33 @@ uint64_t TraceNowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            TraceEpoch())
           .count());
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__linux__)
+  // VmHWM ("high water mark") is the kernel's own peak-RSS accounting.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      const uint64_t kib =
+          std::strtoull(line.c_str() + 6, nullptr, 10);  // "VmHWM:  123 kB"
+      if (kib > 0) return kib * 1024;
+      break;
+    }
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+  }
+#endif
+  return 0;
 }
 
 // ---- Histogram --------------------------------------------------------

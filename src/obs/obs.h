@@ -242,6 +242,12 @@ class ObsSpan {
 // Nanoseconds since the process-wide trace epoch (first use).
 uint64_t TraceNowNanos();
 
+// Peak resident set size of this process in bytes. Reads Linux
+// /proc/self/status VmHWM, falling back to getrusage(ru_maxrss); returns 0
+// when neither source is available. Stamped into every RunReport and
+// published as the `process.peak_rss_bytes` gauge (obs/report.h).
+uint64_t PeakRssBytes();
+
 }  // namespace obs
 }  // namespace alem
 

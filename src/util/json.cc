@@ -1,0 +1,282 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alem {
+
+namespace {
+
+// Nesting guard: reports nest ~3 levels; anything past this is garbage.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& message) {
+    if (error != nullptr) {
+      *error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (pos >= text.size() || text[pos] != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    switch (text[pos]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        out->SetString(std::move(s));
+        return true;
+      }
+      case 't':
+        if (text.substr(pos, 4) != "true") return Fail("bad literal");
+        pos += 4;
+        out->SetBool(true);
+        return true;
+      case 'f':
+        if (text.substr(pos, 5) != "false") return Fail("bad literal");
+        pos += 5;
+        out->SetBool(false);
+        return true;
+      case 'n':
+        if (text.substr(pos, 4) != "null") return Fail("bad literal");
+        pos += 4;
+        out->SetNull();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return Fail("unterminated escape");
+      const char escape = text[pos++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Our writers only escape control characters; encode the code
+          // point as UTF-8 (no surrogate-pair handling needed for them,
+          // but accept BMP characters from external files).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return Fail("expected a value");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return Fail("malformed number");
+    }
+    out->SetNumber(value);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    if (!Consume('[')) return false;
+    out->SetArray();
+    SkipWhitespace();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element, depth + 1)) return false;
+      out->mutable_array().push_back(std::move(element));
+      SkipWhitespace();
+      if (pos >= text.size()) return Fail("unterminated array");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    if (!Consume('{')) return false;
+    out->SetObject();
+    SkipWhitespace();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->mutable_object().emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos >= text.size()) return Fail("unterminated object");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  Parser parser{text, 0, error};
+  if (!parser.ParseValue(out, 0)) return false;
+  parser.SkipWhitespace();
+  if (parser.pos != text.size()) {
+    return parser.Fail("trailing characters after document");
+  }
+  return true;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::SetBool(bool v) {
+  *this = JsonValue();
+  kind_ = Kind::kBool;
+  bool_value_ = v;
+}
+
+void JsonValue::SetNumber(double v) {
+  *this = JsonValue();
+  kind_ = Kind::kNumber;
+  number_value_ = v;
+}
+
+void JsonValue::SetString(std::string v) {
+  *this = JsonValue();
+  kind_ = Kind::kString;
+  string_value_ = std::move(v);
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonUint(std::string* out, uint64_t v) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace alem

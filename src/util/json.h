@@ -1,0 +1,83 @@
+// Minimal JSON support for the observability exporters and the report
+// flight recorder: a tagged value tree with a recursive-descent parser,
+// plus the escaping / number-formatting helpers every JSON writer in the
+// repo shares. Zero dependencies; no allocation tricks — report files are
+// kilobytes, not gigabytes.
+//
+// Numbers are stored as doubles. Counter values round-trip exactly up to
+// 2^53, far beyond anything the metric counters reach.
+
+#ifndef ALEM_UTIL_JSON_H_
+#define ALEM_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alem {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses one JSON document (trailing whitespace allowed, trailing garbage
+  // rejected). On failure returns false and describes the problem and its
+  // byte offset in *error.
+  static bool Parse(std::string_view text, JsonValue* out, std::string* error);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_value_; }
+  double number_value() const { return number_value_; }
+  const std::string& string_value() const { return string_value_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  // Members in document order (reports are written with a fixed key order).
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Setters used by the parser (and tests building values by hand).
+  void SetNull() { *this = JsonValue(); }
+  void SetBool(bool v);
+  void SetNumber(double v);
+  void SetString(std::string v);
+  void SetArray() { *this = JsonValue(); kind_ = Kind::kArray; }
+  void SetObject() { *this = JsonValue(); kind_ = Kind::kObject; }
+  std::vector<JsonValue>& mutable_array() { return array_; }
+  std::vector<std::pair<std::string, JsonValue>>& mutable_object() {
+    return object_;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_value_ = false;
+  double number_value_ = 0.0;
+  std::string string_value_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Appends `s` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, std::string_view s);
+
+// Appends a double with enough digits (%.17g) that parsing it back yields
+// the bit-identical value — the report comparator's --exact-curve mode
+// depends on this. Non-finite values are clamped to 0 (JSON has no inf).
+void AppendJsonDouble(std::string* out, double v);
+
+void AppendJsonUint(std::string* out, uint64_t v);
+
+}  // namespace alem
+
+#endif  // ALEM_UTIL_JSON_H_

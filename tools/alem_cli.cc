@@ -10,6 +10,7 @@
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
 //       [--threads=N]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
+//       [--report=PATH.json]
 //       Runs one active-learning experiment and prints the learning curve.
 //       --threads sets the worker count for committee fits / example
 //       scoring / forest fits / batch predict (default: ALEM_THREADS env
@@ -18,7 +19,10 @@
 //       --trace captures every pipeline span (prepare/train/evaluate/
 //       select/label/fit) as Chrome trace-event JSON for chrome://tracing
 //       or Perfetto; --metrics dumps the counter/gauge/histogram registry
-//       as CSV (see docs/observability.md).
+//       as CSV; --report writes the RunReport flight-recorder JSON (config
+//       + build stamp + per-iteration curve + counters + span rollup +
+//       wall/RSS totals) consumed by tools/alem_report
+//       (see docs/observability.md).
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on
@@ -28,10 +32,12 @@
 //   alem_cli run --dataset=Abt-Buy --approach=trees20 --max-labels=300
 //   alem_cli run --dataset=Cora --approach=linear-margin-1dim --noise=0.1
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "core/harness.h"
+#include "core/run_report.h"
 #include "ml/metrics.h"
 #include "ml/serialization.h"
 #include "obs/obs.h"
@@ -112,11 +118,13 @@ int SaveModel(const RunResult& result, const std::string& path) {
 // Enables observability subsystems per the --trace/--trace-jsonl/--metrics
 // flags. Must run before PrepareDataset so preprocessing spans are captured.
 void EnableObservability(const FlagParser& flags) {
-  if (flags.Has("trace") || flags.Has("trace-jsonl")) {
+  // --report needs both subsystems: counters for the counter section and
+  // spans for the self-time rollup.
+  if (flags.Has("trace") || flags.Has("trace-jsonl") || flags.Has("report")) {
     obs::SetTracingEnabled(true);
   }
   if (flags.Has("metrics") || flags.Has("trace") ||
-      flags.Has("trace-jsonl")) {
+      flags.Has("trace-jsonl") || flags.Has("report")) {
     obs::SetMetricsEnabled(true);
   }
 }
@@ -156,6 +164,7 @@ int ExportObservability(const FlagParser& flags) {
 }
 
 int CommandRun(const FlagParser& flags) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
   const std::string approach_name = flags.GetString("approach", "trees20");
 
@@ -209,7 +218,23 @@ int CommandRun(const FlagParser& flags) {
     std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
   }
 
-  const int obs_status = ExportObservability(flags);
+  int obs_status = ExportObservability(flags);
+  if (flags.Has("report")) {
+    const std::string path = flags.GetString("report", "report.json");
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const obs::RunReport report =
+        BuildRunReport(data, config, result, wall_seconds, "alem_cli");
+    if (obs::WriteReportJson(path, report)) {
+      std::printf("report written to %s (%zu iterations)\n", path.c_str(),
+                  report.curve.size());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", path.c_str());
+      obs_status = 1;
+    }
+  }
   if (flags.Has("save-model")) {
     const int save_status =
         SaveModel(result, flags.GetString("save-model", "model.txt"));
@@ -281,7 +306,9 @@ int Main(int argc, char** argv) {
       "  alem_cli run --dataset=Abt-Buy --approach=trees20 "
       "--max-labels=300\n"
       "  alem_cli run --dataset=Abt-Buy --approach=linear-margin "
-      "--trace=out.json --metrics=out.csv\n");
+      "--trace=out.json --metrics=out.csv\n"
+      "  alem_cli run --dataset=Abt-Buy --approach=trees10 "
+      "--report=out.report.json\n");
   return command == "help" ? 0 : 1;
 }
 

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Regenerates the golden RunReport baseline that the `report` ctest label
+# gates against (bench/baselines/cli_abtbuy_linear_margin.report.json).
+#
+# Run this after a change that *intentionally* moves the learning curve
+# (new featurizer, different seeding, selector fixes) so the regression
+# gate tracks the new expected quality. Gratuitous refreshes defeat the
+# gate — diff the old and new baseline first:
+#   build/tools/alem_report diff bench/baselines/... NEW.report.json
+#
+# Usage: tools/refresh_baseline.sh [BUILD_DIR]   (default: build)
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+cli="$build_dir/tools/alem_cli"
+baseline="$repo_root/bench/baselines/cli_abtbuy_linear_margin.report.json"
+
+if [ ! -x "$cli" ]; then
+  echo "error: $cli not built (cmake --build $build_dir first)" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "$baseline")"
+# The exact workload the report_gate test replays: small enough to run in
+# seconds, deterministic at any thread count.
+"$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
+    --max-labels=60 --threads=1 --quiet --report="$baseline"
+echo "baseline refreshed: $baseline"
+echo "review with: $build_dir/tools/alem_report show $baseline"

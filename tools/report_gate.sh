@@ -1,0 +1,93 @@
+#!/bin/sh
+# End-to-end regression gate over RunReport flight-recorder artifacts.
+# Registered as the `report`-labeled ctest (tests/CMakeLists.txt); also
+# runnable by hand after a build:
+#   tools/report_gate.sh [BUILD_DIR]   (default: build)
+#
+# Gates, in order:
+#   1. Determinism: the CLI's learning curve must be bitwise identical at
+#      --threads=1 and --threads=4 (alem_report check --exact-curve).
+#   2. Quality: the fresh curve must match the committed golden baseline
+#      within the default F1 tolerance (alem_report check).
+#   3. Sensitivity: a baseline whose F1 is perturbed beyond tolerance
+#      must make the check FAIL (guards against a gate that passes
+#      everything).
+#   4. Bench path: a tiny bench run with ALEM_REPORT_DIR set must emit a
+#      schema-valid bench report, and `alem_report aggregate` must roll
+#      it into a BENCH_alembench.json.
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+# Accept the build directory as absolute (ctest passes one) or relative
+# to the repo root.
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+cli="$build_dir/tools/alem_cli"
+report_tool="$build_dir/tools/alem_report"
+baseline="$repo_root/bench/baselines/cli_abtbuy_linear_margin.report.json"
+work="$(mktemp -d "${TMPDIR:-/tmp}/alem_report_gate.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+for f in "$cli" "$report_tool" "$baseline"; do
+  if [ ! -e "$f" ]; then
+    echo "error: missing $f" >&2
+    exit 1
+  fi
+done
+
+run_cli() {
+  threads="$1"
+  out="$2"
+  "$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
+      --max-labels=60 --threads="$threads" --quiet --report="$out" \
+      > /dev/null
+}
+
+echo "[1/4] determinism: curve bitwise identical at 1 vs 4 threads"
+run_cli 1 "$work/t1.report.json"
+run_cli 4 "$work/t4.report.json"
+"$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
+    --exact-curve
+
+echo "[2/4] quality: fresh run within F1 tolerance of the golden baseline"
+"$report_tool" check "$baseline" "$work/t1.report.json"
+
+echo "[3/4] sensitivity: perturbed baseline must fail the check"
+python3 - "$baseline" "$work/perturbed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+# Inflate the baseline far beyond the F1 tolerance so the fresh run
+# appears to be a large regression.
+report["summary"]["final_f1"] = min(1.0, report["summary"]["final_f1"] + 0.2)
+report["summary"]["best_f1"] = min(1.0, report["summary"]["best_f1"] + 0.2)
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f)
+EOF
+if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
+    2> /dev/null; then
+  echo "FAIL: check passed against a perturbed baseline" >&2
+  exit 1
+fi
+echo "perturbed baseline rejected as expected"
+
+echo "[4/4] bench path: ALEM_REPORT_DIR export + aggregation"
+mkdir -p "$work/reports"
+ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
+    ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
+    > /dev/null
+python3 "$repo_root/tools/trace_summary.py" --check \
+    --report "$work/reports"/*.report.json
+(cd "$work" && "$report_tool" aggregate reports --out=BENCH_gate.json)
+python3 - "$work/BENCH_gate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+assert agg["kind"] == "aggregate", agg.get("kind")
+assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
+EOF
+
+echo "report gate OK"

@@ -12,12 +12,18 @@ Modes:
   trace_summary.py --check TRACE.json --metrics METRICS.csv
       Validate the artifacts: the trace must be well-formed Chrome
       trace-event JSON whose every iteration contains train / evaluate /
-      select / label spans, and the metrics CSV must report nonzero
-      selector.scored_examples and oracle.queries. Exits nonzero on any
-      violation (used by ctest).
+      select / label spans, whose every parallel.chunk span nests (in
+      time) inside a matching <region>.parallel span, and the metrics
+      CSV must report nonzero selector.scored_examples and
+      oracle.queries. Exits nonzero on any violation (used by ctest).
+  trace_summary.py --check --report RUN.report.json
+      Validate a RunReport flight-recorder artifact (schema described in
+      docs/observability.md): required fields, a coherent learning curve
+      for "run" reports, nonzero required counters, and span rollup
+      consistency. Combinable with a trace check in the same call.
   trace_summary.py --run-cli PATH/TO/alem_cli --check
-      Run a tiny synthetic experiment through alem_cli with --trace and
-      --metrics, then validate the emitted artifacts as above.
+      Run a tiny synthetic experiment through alem_cli with --trace,
+      --metrics, and --report, then validate all three artifacts.
 
 Only the Python standard library is used.
 """
@@ -144,6 +150,8 @@ def check(trace_path, metrics_path):
                             "not nested in any loop.iteration span")
             break
 
+    failures.extend(check_parallel_nesting(events))
+
     if metrics_path is None:
         failures.append("--check requires --metrics")
         return failures
@@ -158,18 +166,150 @@ def check(trace_path, metrics_path):
     return failures
 
 
+def check_parallel_nesting(events):
+    """Validates thread-pool span structure; returns failure strings.
+
+    Every parallel.chunk span (emitted on a worker thread, with
+    args.detail naming its region) must fall inside the time window of a
+    "<region>.parallel" span emitted by the submitting thread, and every
+    such aggregate span must contain at least one chunk. Serial traces
+    (--threads=1) contain neither span, which is valid.
+    """
+    failures = []
+    windows = {}  # region -> [(start, end)] of <region>.parallel spans.
+    for event in events:
+        if event["name"].endswith(".parallel"):
+            region = event["name"][:-len(".parallel")]
+            windows.setdefault(region, []).append(
+                (event["ts"], event["ts"] + event["dur"]))
+    chunks_per_region = {region: 0 for region in windows}
+    for event in events:
+        if event["name"] != "parallel.chunk":
+            continue
+        region = event.get("args", {}).get("detail", "")
+        if not region:
+            failures.append(f"parallel.chunk at ts={event['ts']} has no "
+                            "args.detail naming its region")
+            continue
+        # Workers run on other threads, so containment is checked against
+        # the submitting thread's window in time only (small grace for
+        # clock granularity at the edges).
+        inside = any(start - 1e-3 <= event["ts"] and
+                     event["ts"] + event["dur"] <= end + 1e-3
+                     for start, end in windows.get(region, []))
+        if not inside:
+            failures.append(
+                f"parallel.chunk (region {region}) at ts={event['ts']} is "
+                f"not inside any {region}.parallel span window")
+            break
+        chunks_per_region[region] += 1
+    for region, count in chunks_per_region.items():
+        if count == 0:
+            failures.append(f"{region}.parallel spans exist but no "
+                            "parallel.chunk spans name that region")
+    return failures
+
+
+# Fields every report must carry, and the extra ones "run" reports add.
+REPORT_REQUIRED_FIELDS = ("schema_version", "kind", "tool", "build",
+                          "config", "counters", "gauges", "spans", "process")
+REPORT_CONFIG_FIELDS = ("dataset", "approach", "data_seed", "run_seed",
+                        "scale", "threads", "seed_size", "batch_size",
+                        "max_labels", "oracle_noise", "holdout")
+REPORT_CURVE_FIELDS = ("iteration", "labels_used", "precision", "recall",
+                       "f1", "train_seconds", "select_seconds",
+                       "wait_seconds")
+REPORT_SUMMARY_FIELDS = ("iterations", "best_f1", "final_f1",
+                         "labels_to_converge", "total_wait_seconds")
+
+
+def check_report(report_path):
+    """Validates a RunReport JSON artifact; returns failure strings."""
+    try:
+        with open(report_path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (ValueError, OSError) as error:
+        return [f"report unreadable: {error}"]
+    if not isinstance(report, dict):
+        return ["report root is not a JSON object"]
+
+    failures = []
+    for field in REPORT_REQUIRED_FIELDS:
+        if field not in report:
+            failures.append(f"report missing required field '{field}'")
+    if failures:
+        return failures
+    if report["schema_version"] != 1:
+        failures.append(
+            f"unsupported schema_version {report['schema_version']}")
+    kind = report["kind"]
+    if kind not in ("run", "bench"):
+        failures.append(f"unknown report kind '{kind}'")
+    for field in REPORT_CONFIG_FIELDS:
+        if field not in report["config"]:
+            failures.append(f"report config missing '{field}'")
+    for field in ("wall_seconds", "peak_rss_bytes"):
+        if field not in report["process"]:
+            failures.append(f"report process missing '{field}'")
+
+    for span in report["spans"]:
+        for field in ("name", "count", "total_seconds", "self_seconds"):
+            if field not in span:
+                failures.append(f"span rollup entry missing '{field}': "
+                                f"{span}")
+                break
+        else:
+            if span["self_seconds"] > span["total_seconds"] + 1e-9:
+                failures.append(f"span {span['name']}: self time "
+                                f"{span['self_seconds']} exceeds total "
+                                f"{span['total_seconds']}")
+
+    if kind == "run":
+        curve = report.get("curve", [])
+        if not curve:
+            failures.append("run report has an empty learning curve")
+        previous_labels = -1
+        for i, point in enumerate(curve):
+            for field in REPORT_CURVE_FIELDS:
+                if field not in point:
+                    failures.append(f"curve[{i}] missing '{field}'")
+                    break
+            labels = point.get("labels_used", 0)
+            if labels < previous_labels:
+                failures.append(f"curve[{i}]: labels_used {labels} "
+                                "decreases (curve must be monotone)")
+            previous_labels = labels
+            if not 0.0 <= point.get("f1", -1.0) <= 1.0:
+                failures.append(f"curve[{i}]: F1 {point.get('f1')} outside "
+                                "[0, 1]")
+        summary = report.get("summary", {})
+        for field in REPORT_SUMMARY_FIELDS:
+            if field not in summary:
+                failures.append(f"report summary missing '{field}'")
+        if curve and summary and "final_f1" in summary:
+            if abs(summary["final_f1"] - curve[-1].get("f1", -1.0)) > 1e-12:
+                failures.append("summary.final_f1 does not match the last "
+                                "curve point")
+        for name in REQUIRED_NONZERO_COUNTERS:
+            if report["counters"].get(name, 0) <= 0:
+                failures.append(f"report counter {name} is zero or missing")
+    return failures
+
+
 def run_cli(cli_path, out_dir):
-    """Runs a tiny traced experiment; returns (trace_path, metrics_path)."""
+    """Runs a tiny traced experiment; returns its artifact paths."""
     trace_path = os.path.join(out_dir, "smoke.trace.json")
     metrics_path = os.path.join(out_dir, "smoke.metrics.csv")
+    report_path = os.path.join(out_dir, "smoke.report.json")
     command = [
         cli_path, "run", "--dataset=Abt-Buy", "--approach=linear-margin",
         "--scale=0.25", "--max-labels=60", "--quiet",
-        f"--trace={trace_path}", f"--metrics={metrics_path}"
+        f"--trace={trace_path}", f"--metrics={metrics_path}",
+        f"--report={report_path}"
     ]
     print("+", " ".join(command))
     subprocess.run(command, check=True)
-    return trace_path, metrics_path
+    return trace_path, metrics_path, report_path
 
 
 def main():
@@ -178,6 +318,7 @@ def main():
     parser.add_argument("--top", type=int, default=15,
                         help="rows in the self-time summary")
     parser.add_argument("--metrics", help="metrics CSV to read")
+    parser.add_argument("--report", help="RunReport JSON to validate")
     parser.add_argument("--check", action="store_true",
                         help="validate instead of summarize; nonzero exit "
                              "on violations")
@@ -188,22 +329,30 @@ def main():
 
     if args.run_cli:
         with tempfile.TemporaryDirectory(prefix="alem_trace_") as out_dir:
-            trace_path, metrics_path = run_cli(args.run_cli, out_dir)
-            return finish(args, trace_path, metrics_path)
-    if not args.trace:
-        parser.error("a trace file (or --run-cli) is required")
-    return finish(args, args.trace, args.metrics)
+            trace_path, metrics_path, report_path = run_cli(args.run_cli,
+                                                            out_dir)
+            return finish(args, trace_path, metrics_path, report_path)
+    if not args.trace and not (args.check and args.report):
+        parser.error("a trace file (or --run-cli, or --check --report) is "
+                     "required")
+    return finish(args, args.trace, args.metrics, args.report)
 
 
-def finish(args, trace_path, metrics_path):
+def finish(args, trace_path, metrics_path, report_path):
     if args.check:
-        failures = check(trace_path, metrics_path)
+        failures = []
+        checked = []
+        if trace_path:
+            failures.extend(check(trace_path, metrics_path))
+            checked.extend([trace_path, metrics_path])
+        if report_path:
+            failures.extend(check_report(report_path))
+            checked.append(report_path)
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
             return 1
-        print("trace + metrics OK "
-              f"({trace_path}, {metrics_path})")
+        print("artifacts OK (" + ", ".join(str(p) for p in checked) + ")")
         return 0
     print_summary(load_trace(trace_path), args.top)
     if metrics_path:
