@@ -15,7 +15,7 @@ int main() {
                  "paper default batch = 10 labels per iteration");
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const PreparedDataset data =
-      PrepareDataset(AbtBuyProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({AbtBuyProfile(), 7, b::ScaleFromEnv()});
 
   std::printf("%8s %8s %14s %12s %14s\n", "batch", "bestF1", "labels@conv",
               "iterations", "totalWait(s)");

@@ -27,7 +27,7 @@ int main() {
       "similarity");
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const PreparedDataset data =
-      PrepareDataset(AbtBuyProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({AbtBuyProfile(), 7, b::ScaleFromEnv()});
 
   auto run = [&](std::unique_ptr<ExampleSelector> selector) {
     ActivePool pool(data.float_features);

@@ -17,7 +17,7 @@ int main() {
       "seconds");
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const PreparedDataset data =
-      PrepareDataset(CoraProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({CoraProfile(), 7, b::ScaleFromEnv()});
 
   // (a) Non-convex non-linear.
   {

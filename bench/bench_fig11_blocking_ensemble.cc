@@ -24,7 +24,7 @@ int main() {
                                    DblpAcmProfile(), DblpScholarProfile(),
                                    CoraProfile()};
   for (const SynthProfile& profile : profiles) {
-    const PreparedDataset data = PrepareDataset(profile, 7, scale);
+    const PreparedDataset data = PrepareDataset({profile, 7, scale});
     const std::string all_dims =
         "Margin(" + std::to_string(data.float_features.dims()) + "Dim)";
 

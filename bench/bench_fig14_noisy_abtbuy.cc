@@ -21,7 +21,7 @@ int main() {
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const size_t runs = b::RunsFromEnv(3);
   const PreparedDataset data =
-      PrepareDataset(AbtBuyProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({AbtBuyProfile(), 7, b::ScaleFromEnv()});
 
   struct Panel {
     std::string title;

@@ -20,7 +20,7 @@ int main() {
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const size_t runs = b::RunsFromEnv(3);
   const PreparedDataset data =
-      PrepareDataset(AbtBuyProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({AbtBuyProfile(), 7, b::ScaleFromEnv()});
 
   for (const double noise : {0.0, 0.1, 0.2}) {
     std::vector<std::vector<IterationStats>> active_curves;

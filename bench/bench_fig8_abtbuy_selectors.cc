@@ -14,7 +14,7 @@ int main() {
                  "Paper shape: margin ~= QBC per learner; Trees(20) -> ~1.0");
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const PreparedDataset data =
-      PrepareDataset(AbtBuyProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({AbtBuyProfile(), 7, b::ScaleFromEnv()});
 
   // (a) Non-convex non-linear.
   {

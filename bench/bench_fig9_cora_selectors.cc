@@ -12,7 +12,7 @@ int main() {
                  "Paper shape: similar curves per learner; trees dominate");
   const size_t max_labels = b::MaxLabelsFromEnv(300);
   const PreparedDataset data =
-      PrepareDataset(CoraProfile(), 7, b::ScaleFromEnv());
+      PrepareDataset({CoraProfile(), 7, b::ScaleFromEnv()});
 
   {
     const RunResult qbc = b::Run(data, NeuralQbcSpec(2), max_labels);

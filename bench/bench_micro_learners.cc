@@ -16,7 +16,7 @@ namespace {
 // Shared prepared dataset (Abt-Buy at reduced scale).
 const PreparedDataset& Data() {
   static const auto& data =
-      *new PreparedDataset(PrepareDataset(AbtBuyProfile(), 7, 0.4));
+      *new PreparedDataset(PrepareDataset({AbtBuyProfile(), 7, 0.4}));
   return data;
 }
 

@@ -40,7 +40,7 @@ int main() {
   std::vector<PreparedDataset> datasets;
   datasets.reserve(profiles.size());
   for (const SynthProfile& profile : profiles) {
-    datasets.push_back(PrepareDataset(profile, 7, scale));
+    datasets.push_back(PrepareDataset({profile, 7, scale}));
   }
 
   std::printf("%-28s", "Approach");

@@ -1,11 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/artifacts.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "parallel/pool.h"
@@ -18,17 +18,11 @@ const char* BuildGitSha() { return obs::BuildStamp(); }
 
 namespace {
 
-// Base path ("<ALEM_TRACE_DIR>/<sanitized artifact>") for the at-exit
-// trace/metrics export; empty when ALEM_TRACE_DIR is unset.
-std::string& TraceExportBase() {
-  static std::string* base = new std::string();
-  return *base;
-}
-
-// Likewise for the ALEM_REPORT_DIR flight-recorder export.
-std::string& ReportExportBase() {
-  static std::string* base = new std::string();
-  return *base;
+// Resolved artifact destinations for the at-exit export (all empty until
+// PrintHeader sees ALEM_TRACE_DIR / ALEM_REPORT_DIR).
+obs::ArtifactOptions& ExportOptions() {
+  static auto* options = new obs::ArtifactOptions();
+  return *options;
 }
 
 // Unsanitized artifact name + process start, for the report's tool field
@@ -43,22 +37,10 @@ std::chrono::steady_clock::time_point ProcessStart() {
   return start;
 }
 
-void ExportTraceAtExit() {
-  const std::string& base = TraceExportBase();
-  if (base.empty()) return;
-  const std::string trace_path = base + ".trace.json";
-  const std::string metrics_path = base + ".metrics.csv";
-  if (obs::TraceRecorder::Global().WriteChromeTrace(trace_path)) {
-    std::printf("(trace written to %s)\n", trace_path.c_str());
-  }
-  if (obs::MetricsRegistry::Global().WriteCsv(metrics_path)) {
-    std::printf("(metrics written to %s)\n", metrics_path.c_str());
-  }
-}
-
-void ExportReportAtExit() {
-  const std::string& base = ReportExportBase();
-  if (base.empty()) return;
+void ExportArtifactsAtExit() {
+  const obs::ArtifactOptions& options = ExportOptions();
+  options.ExportTraceAndMetrics();
+  if (options.report_path.empty()) return;
   obs::RunReport report;
   report.kind = "bench";
   report.tool = ReportArtifactName();
@@ -69,19 +51,9 @@ void ExportReportAtExit() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     ProcessStart())
           .count();
-  const std::string path = base + ".report.json";
-  if (obs::WriteReportJson(path, report)) {
-    std::printf("(report written to %s)\n", path.c_str());
+  if (obs::WriteReportJson(options.report_path, report)) {
+    std::printf("(report written to %s)\n", options.report_path.c_str());
   }
-}
-
-std::string SanitizeFileName(const std::string& name) {
-  std::string sanitized;
-  for (const char c : name) {
-    sanitized.push_back(
-        std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
-  }
-  return sanitized;
 }
 
 }  // namespace
@@ -122,27 +94,20 @@ void PrintHeader(const std::string& artifact,
   std::printf("==============================================================\n");
 
   ProcessStart();  // Pin the wall-clock origin for the report export.
-  const char* trace_dir = std::getenv("ALEM_TRACE_DIR");
-  if (trace_dir != nullptr && *trace_dir != '\0') {
-    obs::SetTracingEnabled(true);
-    obs::SetMetricsEnabled(true);
-    const bool first = TraceExportBase().empty();
-    TraceExportBase() =
-        std::string(trace_dir) + "/" + SanitizeFileName(artifact);
-    if (first) std::atexit(ExportTraceAtExit);
-    std::printf("(tracing to %s.trace.json)\n", TraceExportBase().c_str());
-  }
-  const char* report_dir = std::getenv("ALEM_REPORT_DIR");
-  if (report_dir != nullptr && *report_dir != '\0') {
-    obs::SetTracingEnabled(true);  // Span rollup needs recorded spans.
-    obs::SetMetricsEnabled(true);
-    const bool first = ReportExportBase().empty();
-    ReportExportBase() =
-        std::string(report_dir) + "/" + SanitizeFileName(artifact);
+  const obs::ArtifactOptions options = obs::ArtifactOptionsFromEnv(artifact);
+  options.EnableObservability();
+  if (options.tracing_wanted() || options.metrics_wanted()) {
+    const bool first = !ExportOptions().metrics_wanted() &&
+                       ExportOptions().report_path.empty();
+    ExportOptions() = options;
     ReportArtifactName() = artifact;
-    if (first) std::atexit(ExportReportAtExit);
-    std::printf("(reporting to %s.report.json)\n",
-                ReportExportBase().c_str());
+    if (first) std::atexit(ExportArtifactsAtExit);
+    if (!options.trace_path.empty()) {
+      std::printf("(tracing to %s)\n", options.trace_path.c_str());
+    }
+    if (!options.report_path.empty()) {
+      std::printf("(reporting to %s)\n", options.report_path.c_str());
+    }
   }
 }
 

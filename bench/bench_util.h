@@ -22,6 +22,12 @@
 //                   counters, span self-time rollup, wall/peak-RSS totals)
 //                   at exit; `alem_report aggregate <dir>` rolls a
 //                   directory of these into BENCH_alembench.json
+//   ALEM_CACHE_DIR  when set, PrepareDataset persists each float feature
+//                   matrix there and reloads it on subsequent runs
+//                   (content-addressed, so profile/seed/scale/similarity
+//                   changes invalidate automatically; --no-cache-style
+//                   opt-out is per-call via PrepareOptions::use_cache;
+//                   see docs/featurization.md)
 
 #ifndef ALEM_BENCH_BENCH_UTIL_H_
 #define ALEM_BENCH_BENCH_UTIL_H_

@@ -6,8 +6,12 @@
 #include "core/active_ensemble.h"
 #include "core/evaluator.h"
 #include "core/oracle.h"
+#include "features/feature_cache.h"
 #include "features/feature_extractor.h"
+#include "features/feature_schema.h"
 #include "obs/obs.h"
+#include "parallel/pool.h"
+#include "sim/similarity.h"
 #include "synth/generator.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -15,16 +19,18 @@
 
 namespace alem {
 
-PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
-                               double scale) {
+PreparedDataset PrepareDataset(const PrepareOptions& options) {
+  if (options.threads > 0) parallel::SetNumThreads(options.threads);
+  const SynthProfile& profile = options.profile;
   obs::ObsSpan prepare_span("harness.prepare", "harness", profile.name);
   PreparedDataset prepared;
   prepared.name = profile.name;
-  prepared.data_seed = data_seed;
-  prepared.scale = scale;
+  prepared.data_seed = options.data_seed;
+  prepared.scale = options.scale;
   {
     obs::ObsSpan generate_span("harness.generate", "harness");
-    prepared.dataset = GenerateDataset(profile, data_seed, scale);
+    prepared.dataset = GenerateDataset(profile, options.data_seed,
+                                       options.scale);
   }
 
   {
@@ -40,10 +46,40 @@ PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
 
   {
     obs::ObsSpan featurize_span("harness.featurize", "harness");
-    FeatureExtractor extractor(prepared.dataset);
-    prepared.float_features = extractor.ExtractAll(prepared.pairs);
-    prepared.feature_names = extractor.FeatureNames();
-    prepared.featurizer = std::make_shared<BooleanFeaturizer>(extractor);
+    const FeatureSchema schema = FeatureSchema::FromDataset(prepared.dataset);
+    prepared.feature_names = schema.FeatureNames();
+
+    FeatureCache cache(options.use_cache
+                           ? FeatureCache::ResolveDir(options.cache_dir)
+                           : "");
+    FeatureCacheKey key;
+    key.dataset_name = profile.name;
+    key.profile_fingerprint = ProfileFingerprint(profile);
+    key.data_seed = options.data_seed;
+    key.scale = options.scale;
+    key.sim_fingerprint = SimRegistryFingerprint();
+    key.num_dims = schema.num_dims();
+
+    bool loaded = false;
+    if (cache.enabled()) {
+      obs::ObsSpan cache_span("harness.featurize.cache", "harness");
+      loaded = cache.Load(key, &prepared.float_features) &&
+               prepared.float_features.rows() == prepared.pairs.size();
+    }
+    if (loaded) {
+      prepared.feature_cache = "hit";
+    } else {
+      // Recompute (also covers the corrupt / truncated / stale-rows cases,
+      // which Load reports as misses) and publish for the next process.
+      FeatureExtractor extractor(prepared.dataset);
+      prepared.float_features = extractor.ExtractAll(prepared.pairs);
+      if (cache.enabled()) {
+        obs::ObsSpan cache_span("harness.featurize.cache", "harness");
+        cache.Store(key, prepared.float_features);
+        prepared.feature_cache = "miss";
+      }
+    }
+    prepared.featurizer = std::make_shared<BooleanFeaturizer>(schema);
     prepared.boolean_features =
         prepared.featurizer->Featurize(prepared.float_features);
   }

@@ -5,6 +5,13 @@
 // RunActiveLearning executes one (approach, oracle, evaluation-protocol)
 // cell on a prepared dataset. Benchmarks and examples are thin layers over
 // these two calls.
+//
+// PrepareDataset takes a PrepareOptions aggregate rather than positional
+// arguments: the options map 1:1 onto the provenance block of RunReport
+// artifacts, so every knob that changes the prepared bytes (profile, seed,
+// scale) or how they are obtained (cache policy, thread count) is named at
+// the call site. The float feature matrix is served from the persistent
+// feature cache when one is configured (see docs/featurization.md).
 
 #ifndef ALEM_CORE_HARNESS_H_
 #define ALEM_CORE_HARNESS_H_
@@ -44,11 +51,30 @@ struct PreparedDataset {
   // curve is reproducible from its report alone.
   uint64_t data_seed = 0;
   double scale = 1.0;
+  // How the float feature matrix was obtained: "off" (no cache configured),
+  // "miss" (computed and stored), or "hit" (loaded from the cache).
+  std::string feature_cache = "off";
+};
+
+// Everything PrepareDataset needs, in RunReport-provenance order. Designated
+// initializers keep call sites readable:
+//   PrepareDataset({.profile = AbtBuyProfile(), .data_seed = 7, .scale = 0.3});
+struct PrepareOptions {
+  SynthProfile profile;
+  uint64_t data_seed = 7;
+  double scale = 1.0;
+  // Feature-matrix cache policy. When use_cache is true the cache directory
+  // resolves as cache_dir (if non-empty) > $ALEM_CACHE_DIR > disabled; when
+  // false the cache is never consulted regardless of the environment.
+  bool use_cache = true;
+  std::string cache_dir;
+  // > 0 pins the deterministic thread pool before featurization (same effect
+  // as parallel::SetNumThreads); 0 leaves the current setting alone.
+  int threads = 0;
 };
 
 // Generates the dataset and runs the preprocessing pipeline.
-PreparedDataset PrepareDataset(const SynthProfile& profile, uint64_t data_seed,
-                               double scale = 1.0);
+PreparedDataset PrepareDataset(const PrepareOptions& options);
 
 struct RunConfig {
   ApproachSpec approach;

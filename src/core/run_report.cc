@@ -23,6 +23,7 @@ obs::RunReport BuildRunReport(const PreparedDataset& data,
   report.max_labels = config.max_labels;
   report.oracle_noise = config.oracle_noise;
   report.holdout = config.holdout;
+  report.cache = data.feature_cache;
 
   report.curve.reserve(result.curve.size());
   for (const IterationStats& stats : result.curve) {

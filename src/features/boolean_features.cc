@@ -6,9 +6,9 @@
 
 namespace alem {
 
-BooleanFeaturizer::BooleanFeaturizer(const FeatureExtractor& extractor) {
+BooleanFeaturizer::BooleanFeaturizer(const FeatureSchema& schema) {
   const std::vector<int>& rule_sims = RuleSimilarityIndices();
-  for (size_t column = 0; column < extractor.num_matched_columns(); ++column) {
+  for (size_t column = 0; column < schema.num_matched_columns(); ++column) {
     for (const int sim_index : rule_sims) {
       const size_t float_dim =
           column * static_cast<size_t>(kNumSimilarityFunctions) +
@@ -18,7 +18,7 @@ BooleanFeaturizer::BooleanFeaturizer(const FeatureExtractor& extractor) {
         BooleanAtom atom;
         atom.float_dim = float_dim;
         atom.threshold = threshold;
-        atom.description = extractor.FeatureName(float_dim) + " >= " +
+        atom.description = schema.FeatureName(float_dim) + " >= " +
                            FormatDouble(threshold, 1);
         atoms_.push_back(std::move(atom));
       }

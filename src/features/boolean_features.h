@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "features/feature_extractor.h"
 #include "features/feature_matrix.h"
+#include "features/feature_schema.h"
 
 namespace alem {
 
@@ -27,9 +27,12 @@ struct BooleanAtom {
 
 class BooleanFeaturizer {
  public:
-  // Builds the atom grid for the given extractor: for every matched column,
-  // every rule-supported similarity function, thresholds 0.1, 0.2, ..., 1.0.
-  explicit BooleanFeaturizer(const FeatureExtractor& extractor);
+  // Builds the atom grid for the given feature schema: for every matched
+  // column, every rule-supported similarity function, thresholds 0.1, 0.2,
+  // ..., 1.0. Takes the schema (names + shape), not an extractor: atom
+  // construction needs no profiled attribute data, so a warm feature-cache
+  // hit can build the featurizer without profiling the tables.
+  explicit BooleanFeaturizer(const FeatureSchema& schema);
 
   size_t num_atoms() const { return atoms_.size(); }
   const std::vector<BooleanAtom>& atoms() const { return atoms_; }

@@ -1,0 +1,73 @@
+// Content-addressed persistent cache for extracted feature matrices.
+//
+// Feature rows are deterministic in (synth profile, data_seed, scale) and
+// the similarity registry, so the float feature matrix of a prepared
+// dataset can be persisted once and reloaded on every later run — the
+// dominant `harness.featurize` cost becomes a single file read. Entries
+// are keyed by a fingerprint of everything the matrix depends on
+// (FeatureCacheKey); any semantic change (a similarity-function tweak bumps
+// kSimRegistryVersion, a profile edit changes the profile fingerprint)
+// changes the file name, so stale entries are simply never found.
+//
+// Robustness contract: a missing, truncated, corrupted, or wrong-shape
+// cache file is a silent miss — the caller recomputes and overwrites.
+// Writes go to a temp file and are renamed into place so a crashed or
+// concurrent writer can never publish a partial entry.
+//
+// Observability: Load/Store bump the `featurize.cache.{hit,miss,write}`
+// counters (no-ops while metrics are disabled, like every counter).
+
+#ifndef ALEM_FEATURES_FEATURE_CACHE_H_
+#define ALEM_FEATURES_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "features/feature_matrix.h"
+
+namespace alem {
+
+// Everything a cached float feature matrix is a pure function of.
+struct FeatureCacheKey {
+  std::string dataset_name;       // For a readable file name only.
+  uint64_t profile_fingerprint = 0;  // synth::ProfileFingerprint
+  uint64_t data_seed = 0;
+  double scale = 1.0;
+  uint64_t sim_fingerprint = 0;   // SimRegistryFingerprint()
+  uint64_t num_dims = 0;
+
+  // "<sanitized dataset_name>-<16 hex digest>.fmat".
+  std::string FileName() const;
+};
+
+class FeatureCache {
+ public:
+  // A cache rooted at `dir`; empty = disabled (Load misses, Store no-ops).
+  explicit FeatureCache(std::string dir);
+
+  // Resolves the cache directory: `override_dir` when nonempty, else the
+  // ALEM_CACHE_DIR environment variable, else "" (caching disabled).
+  static std::string ResolveDir(const std::string& override_dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // Loads the entry for `key` into *out. Returns false — and counts a miss
+  // — when disabled, absent, unreadable, or invalid in any way.
+  bool Load(const FeatureCacheKey& key, FeatureMatrix* out) const;
+
+  // Persists `matrix` under `key` (temp file + atomic rename; creates the
+  // cache directory if needed). Returns false on any I/O failure; failures
+  // are non-fatal to callers — the cache is an optimization, not a store
+  // of record.
+  bool Store(const FeatureCacheKey& key, const FeatureMatrix& matrix) const;
+
+ private:
+  std::string EntryPath(const FeatureCacheKey& key) const;
+
+  std::string dir_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_FEATURES_FEATURE_CACHE_H_

@@ -6,8 +6,8 @@
 namespace alem {
 namespace {
 
-// Similarity-function cost accounting (one Add per pair, not per call, to
-// keep the extraction loop tight).
+// Similarity-function cost accounting (one Add per pair/batch, not per
+// call, to keep the extraction loops tight).
 void CountSimCalls(size_t calls) {
   static obs::Counter& counter =
       obs::MetricsRegistry::Global().GetCounter("sim.calls");
@@ -16,19 +16,13 @@ void CountSimCalls(size_t calls) {
 
 }  // namespace
 
-FeatureExtractor::FeatureExtractor(const EmDataset& dataset) {
+FeatureExtractor::FeatureExtractor(const EmDataset& dataset)
+    : schema_(FeatureSchema::FromDataset(dataset)) {
   const size_t num_columns = dataset.matched_columns.size();
-  ALEM_CHECK_GT(num_columns, 0u);
-  num_dims_ = static_cast<size_t>(kNumSimilarityFunctions) * num_columns;
-
   left_profiles_.resize(num_columns);
   right_profiles_.resize(num_columns);
-  column_names_.reserve(num_columns);
   for (size_t c = 0; c < num_columns; ++c) {
     const MatchedColumns& mc = dataset.matched_columns[c];
-    column_names_.push_back(
-        dataset.left.schema().column(static_cast<size_t>(mc.left_column)));
-
     left_profiles_[c].reserve(dataset.left.num_rows());
     for (size_t row = 0; row < dataset.left.num_rows(); ++row) {
       left_profiles_[c].push_back(AttributeProfile::Build(
@@ -70,7 +64,7 @@ void FeatureExtractor::ExtractPair(const RecordPair& pair, float* out) const {
 }
 
 float FeatureExtractor::ExtractDim(const RecordPair& pair, size_t dim) const {
-  ALEM_CHECK_LT(dim, num_dims_);
+  ALEM_CHECK_LT(dim, num_dims());
   const size_t column_pair = dim / kNumSimilarityFunctions;
   const size_t function_index = dim % kNumSimilarityFunctions;
   const SimilarityFunction* function =
@@ -81,30 +75,41 @@ float FeatureExtractor::ExtractDim(const RecordPair& pair, size_t dim) const {
       RightProfile(pair.right, column_pair)));
 }
 
+void FeatureExtractor::ExtractBatch(std::span<const RecordPair> pairs,
+                                    FeatureMatrix* out) const {
+  const size_t n = pairs.size();
+  const size_t dims = num_dims();
+  if (out->rows() != n || out->dims() != dims) {
+    *out = FeatureMatrix(n, dims);
+  }
+  if (n == 0) return;
+
+  const auto& functions = AllSimilarityFunctions();
+  std::vector<const AttributeProfile*> left(n);
+  std::vector<const AttributeProfile*> right(n);
+  std::vector<float> column(n);
+  for (size_t c = 0; c < left_profiles_.size(); ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      left[i] = &LeftProfile(pairs[i].left, c);
+      right[i] = &RightProfile(pairs[i].right, c);
+    }
+    for (size_t f = 0; f < functions.size(); ++f) {
+      functions[f]->EvaluateBatch(left, right, column.data());
+      // Transpose the finished column into the row-major matrix.
+      const size_t dim = c * functions.size() + f;
+      for (size_t i = 0; i < n; ++i) {
+        out->MutableRow(i)[dim] = column[i];
+      }
+    }
+  }
+  CountSimCalls(n * dims);
+}
+
 FeatureMatrix FeatureExtractor::ExtractAll(
     const std::vector<RecordPair>& pairs) const {
-  FeatureMatrix matrix(pairs.size(), num_dims_);
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    ExtractPair(pairs[i], matrix.MutableRow(i));
-  }
+  FeatureMatrix matrix(pairs.size(), num_dims());
+  ExtractBatch(pairs, &matrix);
   return matrix;
-}
-
-std::string FeatureExtractor::FeatureName(size_t dim) const {
-  ALEM_CHECK_LT(dim, num_dims_);
-  const size_t column_pair = dim / kNumSimilarityFunctions;
-  const size_t function_index = dim % kNumSimilarityFunctions;
-  return std::string(AllSimilarityFunctions()[function_index]->name()) + "(" +
-         column_names_[column_pair] + ")";
-}
-
-std::vector<std::string> FeatureExtractor::FeatureNames() const {
-  std::vector<std::string> names;
-  names.reserve(num_dims_);
-  for (size_t dim = 0; dim < num_dims_; ++dim) {
-    names.push_back(FeatureName(dim));
-  }
-  return names;
 }
 
 }  // namespace alem

@@ -4,6 +4,8 @@
 #define ALEM_FEATURES_FEATURE_MATRIX_H_
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace alem {
@@ -31,6 +33,18 @@ class FeatureMatrix {
 
   // Appends one row (must have `dims()` entries; sets dims on first append).
   void AppendRow(const std::vector<float>& row);
+
+  // Versioned binary serialization: magic + format version + shape +
+  // payload checksum + raw floats. A Deserialize of the blob is bitwise
+  // identical to the source matrix. Used by the persistent feature cache
+  // (see docs/featurization.md).
+  std::string Serialize() const;
+
+  // Parses a Serialize() blob. Returns false (leaving *out untouched) on
+  // any validation failure: wrong magic, unsupported version, truncated or
+  // oversized payload, or checksum mismatch — corrupt cache files must
+  // read as a miss, never crash.
+  static bool Deserialize(std::string_view blob, FeatureMatrix* out);
 
  private:
   size_t rows_ = 0;

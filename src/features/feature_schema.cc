@@ -1,0 +1,40 @@
+#include "features/feature_schema.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alem {
+
+FeatureSchema::FeatureSchema(std::vector<std::string> column_names)
+    : column_names_(std::move(column_names)) {}
+
+FeatureSchema FeatureSchema::FromDataset(const EmDataset& dataset) {
+  ALEM_CHECK_GT(dataset.matched_columns.size(), 0u);
+  std::vector<std::string> names;
+  names.reserve(dataset.matched_columns.size());
+  for (const MatchedColumns& mc : dataset.matched_columns) {
+    names.push_back(
+        dataset.left.schema().column(static_cast<size_t>(mc.left_column)));
+  }
+  return FeatureSchema(std::move(names));
+}
+
+std::string FeatureSchema::FeatureName(size_t dim) const {
+  ALEM_CHECK_LT(dim, num_dims());
+  const size_t column_pair = dim / kNumSimilarityFunctions;
+  const size_t function_index = dim % kNumSimilarityFunctions;
+  return std::string(AllSimilarityFunctions()[function_index]->name()) + "(" +
+         column_names_[column_pair] + ")";
+}
+
+std::vector<std::string> FeatureSchema::FeatureNames() const {
+  std::vector<std::string> names;
+  names.reserve(num_dims());
+  for (size_t dim = 0; dim < num_dims(); ++dim) {
+    names.push_back(FeatureName(dim));
+  }
+  return names;
+}
+
+}  // namespace alem

@@ -1,0 +1,52 @@
+// FeatureSchema: the shape and naming of the float feature space, without
+// the profiled attribute data needed to fill it.
+//
+// Dimension d corresponds to similarity function (d % 21) applied to
+// matched-column pair (d / 21) — the layout shared by FeatureExtractor,
+// BooleanFeaturizer, and every persisted FeatureMatrix. Building a schema
+// only copies the matched-column names, so consumers that need names and
+// dimensionality but no similarity evaluations (the Boolean featurizer, a
+// warm feature-cache hit) can skip profiling both tables entirely.
+
+#ifndef ALEM_FEATURES_FEATURE_SCHEMA_H_
+#define ALEM_FEATURES_FEATURE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/similarity.h"
+
+namespace alem {
+
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  explicit FeatureSchema(std::vector<std::string> column_names);
+
+  // Schema over the dataset's matched columns (left-table column names).
+  static FeatureSchema FromDataset(const EmDataset& dataset);
+
+  // Feature dimensionality: kNumSimilarityFunctions * #matched columns.
+  size_t num_dims() const {
+    return static_cast<size_t>(kNumSimilarityFunctions) *
+           column_names_.size();
+  }
+  size_t num_matched_columns() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  // Human-readable name of a dimension, e.g. "JaroWinkler(name)".
+  std::string FeatureName(size_t dim) const;
+
+  // All dimension names in order.
+  std::vector<std::string> FeatureNames() const;
+
+ private:
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace alem
+
+#endif  // ALEM_FEATURES_FEATURE_SCHEMA_H_

@@ -182,6 +182,8 @@ std::string ReportToJson(const RunReport& report) {
   AppendJsonDouble(&out, report.oracle_noise);
   out.append(", \"holdout\": ");
   out.append(report.holdout ? "true" : "false");
+  out.append(", \"cache\": ");
+  AppendJsonString(&out, report.cache);
   out.append("}");
 
   if (report.kind == "run" || !report.curve.empty()) {
@@ -340,6 +342,8 @@ bool ParseReportJson(std::string_view text, RunReport* report,
     parsed.max_labels = cfg.Uint("max_labels");
     parsed.oracle_noise = cfg.Number("oracle_noise");
     parsed.holdout = cfg.Bool("holdout");
+    const std::string cache = cfg.String("cache", /*required=*/false);
+    if (!cache.empty()) parsed.cache = cache;
   }
 
   const bool is_run = parsed.kind == "run";

@@ -21,7 +21,8 @@
 // The JSON layout (schema_version 1):
 //   { "schema_version": 1, "kind": "run"|"bench", "tool": ..., "build": ...,
 //     "config":  { dataset, approach, data_seed, run_seed, scale, threads,
-//                  seed_size, batch_size, max_labels, oracle_noise, holdout },
+//                  seed_size, batch_size, max_labels, oracle_noise, holdout,
+//                  cache },
 //     "curve":   [ { iteration, labels_used, precision, recall, f1,
 //                    train_seconds, evaluate_seconds, select_seconds,
 //                    committee_seconds, scoring_seconds, label_seconds,
@@ -103,6 +104,10 @@ struct RunReport {
   uint64_t max_labels = 0;
   double oracle_noise = 0.0;
   bool holdout = false;
+  // Feature-cache provenance: "off" (caching disabled), "miss" (computed
+  // and stored), or "hit" (loaded from ALEM_CACHE_DIR). Optional on parse
+  // so pre-cache reports stay loadable; defaults to "off".
+  std::string cache = "off";
 
   // curve + summary (required for kind "run")
   std::vector<ReportIteration> curve;

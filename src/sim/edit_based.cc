@@ -6,22 +6,30 @@
 namespace alem {
 namespace {
 
+using internal_edit::EditScratch;
+
 std::string_view Capped(const std::string& s) {
   return std::string_view(s).substr(0, kMaxAlignmentLength);
 }
 
-}  // namespace
+// ---- Scratch-based cores -----------------------------------------------
+//
+// Each dynamic program below is the single implementation shared by the
+// scalar path (fresh EditScratch per call) and the batch kernels (one
+// EditScratch per chunk). Every row a program reads is (re)initialized via
+// assign() before use, so buffer reuse cannot change results.
 
-namespace internal_edit {
-
-int LevenshteinDistance(std::string_view a, std::string_view b) {
+int LevenshteinDistanceWith(std::string_view a, std::string_view b,
+                            EditScratch& scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0) return static_cast<int>(m);
   if (m == 0) return static_cast<int>(n);
 
-  std::vector<int> previous(m + 1);
-  std::vector<int> current(m + 1);
+  std::vector<int>& previous = scratch.int_rows[0];
+  std::vector<int>& current = scratch.int_rows[1];
+  previous.assign(m + 1, 0);
+  current.assign(m + 1, 0);
   for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
   for (size_t i = 1; i <= n; ++i) {
     current[0] = static_cast<int>(i);
@@ -35,7 +43,8 @@ int LevenshteinDistance(std::string_view a, std::string_view b) {
   return previous[m];
 }
 
-double JaroRaw(std::string_view a, std::string_view b) {
+double JaroRawWith(std::string_view a, std::string_view b,
+                   EditScratch& scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 && m == 0) return 1.0;
@@ -43,17 +52,19 @@ double JaroRaw(std::string_view a, std::string_view b) {
 
   const size_t window =
       std::max<size_t>(1, std::max(n, m) / 2) - 1;  // Match window.
-  std::vector<bool> a_matched(n, false);
-  std::vector<bool> b_matched(m, false);
+  std::vector<uint8_t>& a_matched = scratch.flags[0];
+  std::vector<uint8_t>& b_matched = scratch.flags[1];
+  a_matched.assign(n, 0);
+  b_matched.assign(m, 0);
 
   size_t matches = 0;
   for (size_t i = 0; i < n; ++i) {
     const size_t lo = i > window ? i - window : 0;
     const size_t hi = std::min(m, i + window + 1);
     for (size_t j = lo; j < hi; ++j) {
-      if (!b_matched[j] && a[i] == b[j]) {
-        a_matched[i] = true;
-        b_matched[j] = true;
+      if (b_matched[j] == 0 && a[i] == b[j]) {
+        a_matched[i] = 1;
+        b_matched[j] = 1;
         ++matches;
         break;
       }
@@ -64,8 +75,8 @@ double JaroRaw(std::string_view a, std::string_view b) {
   size_t transpositions = 0;
   size_t k = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (!a_matched[i]) continue;
-    while (!b_matched[k]) ++k;
+    if (a_matched[i] == 0) continue;
+    while (b_matched[k] == 0) ++k;
     if (a[i] != b[k]) ++transpositions;
     ++k;
   }
@@ -73,35 +84,19 @@ double JaroRaw(std::string_view a, std::string_view b) {
   return (dm / n + dm / m + (dm - transpositions / 2.0) / dm) / 3.0;
 }
 
-double JaroWinklerRaw(std::string_view a, std::string_view b) {
-  const double jaro = JaroRaw(a, b);
-  constexpr double kPrefixScale = 0.1;
-  constexpr size_t kMaxPrefix = 4;
-  size_t prefix = 0;
-  const size_t limit = std::min({a.size(), b.size(), kMaxPrefix});
-  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
-  return jaro + static_cast<double>(prefix) * kPrefixScale * (1.0 - jaro);
-}
-
-}  // namespace internal_edit
-
-double IdentitySimilarity::ComputeNonNull(const AttributeProfile& a,
-                                          const AttributeProfile& b) const {
-  return a.text == b.text ? 1.0 : 0.0;
-}
-
-double LevenshteinSimilarity::ComputeNonNull(const AttributeProfile& a,
-                                             const AttributeProfile& b) const {
+double LevenshteinSim(const AttributeProfile& a, const AttributeProfile& b,
+                      EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t max_len = std::max(sa.size(), sb.size());
   if (max_len == 0) return 1.0;
-  const int distance = internal_edit::LevenshteinDistance(sa, sb);
+  const int distance = LevenshteinDistanceWith(sa, sb, scratch);
   return 1.0 - static_cast<double>(distance) / static_cast<double>(max_len);
 }
 
-double DamerauLevenshteinSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double DamerauLevenshteinSim(const AttributeProfile& a,
+                             const AttributeProfile& b,
+                             EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -114,9 +109,12 @@ double DamerauLevenshteinSimilarity::ComputeNonNull(
   }
 
   // Optimal string alignment: three rolling rows.
-  std::vector<int> two_back(m + 1);
-  std::vector<int> previous(m + 1);
-  std::vector<int> current(m + 1);
+  std::vector<int>& two_back = scratch.int_rows[0];
+  std::vector<int>& previous = scratch.int_rows[1];
+  std::vector<int>& current = scratch.int_rows[2];
+  two_back.assign(m + 1, 0);
+  previous.assign(m + 1, 0);
+  current.assign(m + 1, 0);
   for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
   for (size_t i = 1; i <= n; ++i) {
     current[0] = static_cast<int>(i);
@@ -136,18 +134,18 @@ double DamerauLevenshteinSimilarity::ComputeNonNull(
          static_cast<double>(previous[m]) / static_cast<double>(max_len);
 }
 
-double JaroSimilarity::ComputeNonNull(const AttributeProfile& a,
-                                      const AttributeProfile& b) const {
-  return internal_edit::JaroRaw(a.text, b.text);
+double JaroSim(const AttributeProfile& a, const AttributeProfile& b,
+               EditScratch& scratch) {
+  return JaroRawWith(a.text, b.text, scratch);
 }
 
-double JaroWinklerSimilarity::ComputeNonNull(const AttributeProfile& a,
-                                             const AttributeProfile& b) const {
-  return internal_edit::JaroWinklerRaw(a.text, b.text);
+double JaroWinklerSim(const AttributeProfile& a, const AttributeProfile& b,
+                      EditScratch& scratch) {
+  return internal_edit::JaroWinklerRawWith(a.text, b.text, scratch);
 }
 
-double NeedlemanWunschSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double NeedlemanWunschSim(const AttributeProfile& a, const AttributeProfile& b,
+                          EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -156,8 +154,10 @@ double NeedlemanWunschSimilarity::ComputeNonNull(
   if (max_len == 0) return 1.0;
 
   constexpr double kGap = -1.0;
-  std::vector<double> previous(m + 1);
-  std::vector<double> current(m + 1);
+  std::vector<double>& previous = scratch.dbl_rows[0];
+  std::vector<double>& current = scratch.dbl_rows[1];
+  previous.assign(m + 1, 0.0);
+  current.assign(m + 1, 0.0);
   for (size_t j = 0; j <= m; ++j) previous[j] = kGap * static_cast<double>(j);
   for (size_t i = 1; i <= n; ++i) {
     current[0] = kGap * static_cast<double>(i);
@@ -172,8 +172,8 @@ double NeedlemanWunschSimilarity::ComputeNonNull(
   return (score + max_len) / (2.0 * max_len);
 }
 
-double SmithWatermanSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double SmithWatermanSim(const AttributeProfile& a, const AttributeProfile& b,
+                        EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -182,8 +182,10 @@ double SmithWatermanSimilarity::ComputeNonNull(
   if (min_len == 0) return n == m ? 1.0 : 0.0;
 
   constexpr double kGap = -0.5;
-  std::vector<double> previous(m + 1, 0.0);
-  std::vector<double> current(m + 1, 0.0);
+  std::vector<double>& previous = scratch.dbl_rows[0];
+  std::vector<double>& current = scratch.dbl_rows[1];
+  previous.assign(m + 1, 0.0);
+  current.assign(m + 1, 0.0);
   double best = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     current[0] = 0.0;
@@ -198,8 +200,9 @@ double SmithWatermanSimilarity::ComputeNonNull(
   return best / min_len;
 }
 
-double SmithWatermanGotohSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double SmithWatermanGotohSim(const AttributeProfile& a,
+                             const AttributeProfile& b,
+                             EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -213,8 +216,14 @@ double SmithWatermanGotohSimilarity::ComputeNonNull(
 
   // H: best local alignment score ending at (i, j).
   // E: best ending with a gap in `a` (horizontal); F: gap in `b` (vertical).
-  std::vector<double> h_prev(m + 1, 0.0), h_cur(m + 1, 0.0);
-  std::vector<double> f_prev(m + 1, kNegInf), f_cur(m + 1, kNegInf);
+  std::vector<double>& h_prev = scratch.dbl_rows[0];
+  std::vector<double>& h_cur = scratch.dbl_rows[1];
+  std::vector<double>& f_prev = scratch.dbl_rows[2];
+  std::vector<double>& f_cur = scratch.dbl_rows[3];
+  h_prev.assign(m + 1, 0.0);
+  h_cur.assign(m + 1, 0.0);
+  f_prev.assign(m + 1, kNegInf);
+  f_cur.assign(m + 1, kNegInf);
   double best = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     double e = kNegInf;
@@ -232,8 +241,9 @@ double SmithWatermanGotohSimilarity::ComputeNonNull(
   return best / min_len;
 }
 
-double LongestCommonSubsequenceSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double LongestCommonSubsequenceSim(const AttributeProfile& a,
+                                   const AttributeProfile& b,
+                                   EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -241,8 +251,10 @@ double LongestCommonSubsequenceSimilarity::ComputeNonNull(
   if (n + m == 0) return 1.0;
   if (n == 0 || m == 0) return 0.0;
 
-  std::vector<int> previous(m + 1, 0);
-  std::vector<int> current(m + 1, 0);
+  std::vector<int>& previous = scratch.int_rows[0];
+  std::vector<int>& current = scratch.int_rows[1];
+  previous.assign(m + 1, 0);
+  current.assign(m + 1, 0);
   for (size_t i = 1; i <= n; ++i) {
     for (size_t j = 1; j <= m; ++j) {
       current[j] = sa[i - 1] == sb[j - 1]
@@ -254,8 +266,9 @@ double LongestCommonSubsequenceSimilarity::ComputeNonNull(
   return 2.0 * previous[m] / static_cast<double>(n + m);
 }
 
-double LongestCommonSubstringSimilarity::ComputeNonNull(
-    const AttributeProfile& a, const AttributeProfile& b) const {
+double LongestCommonSubstringSim(const AttributeProfile& a,
+                                 const AttributeProfile& b,
+                                 EditScratch& scratch) {
   const std::string_view sa = Capped(a.text);
   const std::string_view sb = Capped(b.text);
   const size_t n = sa.size();
@@ -264,8 +277,10 @@ double LongestCommonSubstringSimilarity::ComputeNonNull(
   if (max_len == 0) return 1.0;
   if (n == 0 || m == 0) return 0.0;
 
-  std::vector<int> previous(m + 1, 0);
-  std::vector<int> current(m + 1, 0);
+  std::vector<int>& previous = scratch.int_rows[0];
+  std::vector<int>& current = scratch.int_rows[1];
+  previous.assign(m + 1, 0);
+  current.assign(m + 1, 0);
   int best = 0;
   for (size_t i = 1; i <= n; ++i) {
     for (size_t j = 1; j <= m; ++j) {
@@ -275,6 +290,171 @@ double LongestCommonSubstringSimilarity::ComputeNonNull(
     std::swap(previous, current);
   }
   return static_cast<double>(best) / static_cast<double>(max_len);
+}
+
+// Runs `sim` over one batch chunk with a single shared scratch, applying
+// the same null-check + clamp + float cast as the scalar Similarity() path.
+template <typename Sim>
+void ChunkWith(const AttributeProfile* const* left,
+               const AttributeProfile* const* right, size_t begin, size_t end,
+               float* out, Sim sim) {
+  EditScratch scratch;
+  for (size_t i = begin; i < end; ++i) {
+    const AttributeProfile& a = *left[i];
+    const AttributeProfile& b = *right[i];
+    out[i] = (a.is_null || b.is_null)
+                 ? 0.0f
+                 : static_cast<float>(
+                       std::clamp(sim(a, b, scratch), 0.0, 1.0));
+  }
+}
+
+}  // namespace
+
+namespace internal_edit {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  EditScratch scratch;
+  return LevenshteinDistanceWith(a, b, scratch);
+}
+
+double JaroRaw(std::string_view a, std::string_view b) {
+  EditScratch scratch;
+  return JaroRawWith(a, b, scratch);
+}
+
+double JaroWinklerRawWith(std::string_view a, std::string_view b,
+                          EditScratch& scratch) {
+  const double jaro = JaroRawWith(a, b, scratch);
+  constexpr double kPrefixScale = 0.1;
+  constexpr size_t kMaxPrefix = 4;
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), kMaxPrefix});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * kPrefixScale * (1.0 - jaro);
+}
+
+double JaroWinklerRaw(std::string_view a, std::string_view b) {
+  EditScratch scratch;
+  return JaroWinklerRawWith(a, b, scratch);
+}
+
+}  // namespace internal_edit
+
+double IdentitySimilarity::ComputeNonNull(const AttributeProfile& a,
+                                          const AttributeProfile& b) const {
+  return a.text == b.text ? 1.0 : 0.0;
+}
+
+double LevenshteinSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                             const AttributeProfile& b) const {
+  EditScratch scratch;
+  return LevenshteinSim(a, b, scratch);
+}
+
+void LevenshteinSimilarity::EvaluateChunk(const AttributeProfile* const* left,
+                                          const AttributeProfile* const* right,
+                                          size_t begin, size_t end,
+                                          float* out) const {
+  ChunkWith(left, right, begin, end, out, LevenshteinSim);
+}
+
+double DamerauLevenshteinSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return DamerauLevenshteinSim(a, b, scratch);
+}
+
+void DamerauLevenshteinSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, DamerauLevenshteinSim);
+}
+
+double JaroSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                      const AttributeProfile& b) const {
+  EditScratch scratch;
+  return JaroSim(a, b, scratch);
+}
+
+void JaroSimilarity::EvaluateChunk(const AttributeProfile* const* left,
+                                   const AttributeProfile* const* right,
+                                   size_t begin, size_t end,
+                                   float* out) const {
+  ChunkWith(left, right, begin, end, out, JaroSim);
+}
+
+double JaroWinklerSimilarity::ComputeNonNull(const AttributeProfile& a,
+                                             const AttributeProfile& b) const {
+  EditScratch scratch;
+  return JaroWinklerSim(a, b, scratch);
+}
+
+void JaroWinklerSimilarity::EvaluateChunk(const AttributeProfile* const* left,
+                                          const AttributeProfile* const* right,
+                                          size_t begin, size_t end,
+                                          float* out) const {
+  ChunkWith(left, right, begin, end, out, JaroWinklerSim);
+}
+
+double NeedlemanWunschSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return NeedlemanWunschSim(a, b, scratch);
+}
+
+void NeedlemanWunschSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, NeedlemanWunschSim);
+}
+
+double SmithWatermanSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return SmithWatermanSim(a, b, scratch);
+}
+
+void SmithWatermanSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, SmithWatermanSim);
+}
+
+double SmithWatermanGotohSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return SmithWatermanGotohSim(a, b, scratch);
+}
+
+void SmithWatermanGotohSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, SmithWatermanGotohSim);
+}
+
+double LongestCommonSubsequenceSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return LongestCommonSubsequenceSim(a, b, scratch);
+}
+
+void LongestCommonSubsequenceSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, LongestCommonSubsequenceSim);
+}
+
+double LongestCommonSubstringSimilarity::ComputeNonNull(
+    const AttributeProfile& a, const AttributeProfile& b) const {
+  EditScratch scratch;
+  return LongestCommonSubstringSim(a, b, scratch);
+}
+
+void LongestCommonSubstringSimilarity::EvaluateChunk(
+    const AttributeProfile* const* left, const AttributeProfile* const* right,
+    size_t begin, size_t end, float* out) const {
+  ChunkWith(left, right, begin, end, out, LongestCommonSubstringSim);
 }
 
 }  // namespace alem

@@ -9,11 +9,31 @@
 #ifndef ALEM_SIM_EDIT_BASED_H_
 #define ALEM_SIM_EDIT_BASED_H_
 
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "sim/similarity.h"
 
 namespace alem {
+
+namespace internal_edit {
+
+// Reusable scratch buffers for the alignment dynamic programs and the Jaro
+// matched-flag arrays. The scalar similarity path constructs one per call
+// (equivalent to the old per-call std::vector allocations); the batch
+// kernels construct one per chunk and reuse it across pairs, which is what
+// hoists the allocation cost out of the pair loop. Every function that
+// takes an EditScratch fully (re)initializes the rows it reads via
+// assign(), so a reused scratch computes bitwise-identical results to a
+// fresh one.
+struct EditScratch {
+  std::vector<int> int_rows[3];
+  std::vector<double> dbl_rows[4];
+  std::vector<uint8_t> flags[2];
+};
+
+}  // namespace internal_edit
 
 // Maximum prefix length considered by the quadratic alignment functions.
 inline constexpr size_t kMaxAlignmentLength = 64;
@@ -36,6 +56,9 @@ class LevenshteinSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Optimal-string-alignment variant of Damerau-Levenshtein (adjacent
@@ -47,6 +70,9 @@ class DamerauLevenshteinSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Jaro similarity.
@@ -57,6 +83,9 @@ class JaroSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Jaro-Winkler with the standard prefix scale 0.1 and max prefix 4.
@@ -67,6 +96,9 @@ class JaroWinklerSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Global alignment (Needleman-Wunsch) with match +1, mismatch -1, gap -1,
@@ -78,6 +110,9 @@ class NeedlemanWunschSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Local alignment (Smith-Waterman) with match +1, mismatch -1, gap -0.5,
@@ -89,6 +124,9 @@ class SmithWatermanSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Smith-Waterman with Gotoh affine gaps (open -0.5, extend -0.25),
@@ -100,6 +138,9 @@ class SmithWatermanGotohSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Longest common subsequence: 2 * lcs / (|a| + |b|).
@@ -112,6 +153,9 @@ class LongestCommonSubsequenceSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 // Longest common contiguous substring: lcstr / max(|a|, |b|).
@@ -122,6 +166,9 @@ class LongestCommonSubstringSimilarity final : public SimilarityFunction {
  protected:
   double ComputeNonNull(const AttributeProfile& a,
                         const AttributeProfile& b) const override;
+  void EvaluateChunk(const AttributeProfile* const* left,
+                     const AttributeProfile* const* right, size_t begin,
+                     size_t end, float* out) const override;
 };
 
 namespace internal_edit {
@@ -132,6 +179,11 @@ double JaroRaw(std::string_view a, std::string_view b);
 
 // Raw Jaro-Winkler on string views.
 double JaroWinklerRaw(std::string_view a, std::string_view b);
+
+// Raw Jaro-Winkler using caller-provided scratch (Monge-Elkan's batch
+// kernel reuses one scratch across its whole token-pair inner loop).
+double JaroWinklerRawWith(std::string_view a, std::string_view b,
+                          EditScratch& scratch);
 
 // Raw Levenshtein distance (uncapped). Exposed for tests.
 int LevenshteinDistance(std::string_view a, std::string_view b);

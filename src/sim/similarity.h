@@ -13,6 +13,9 @@
 #define ALEM_SIM_SIMILARITY_H_
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -32,6 +35,16 @@ class SimilarityFunction {
     return std::clamp(ComputeNonNull(a, b), 0.0, 1.0);
   }
 
+  // Structure-of-arrays batch evaluation: out[i] = float(Similarity(
+  // *left[i], *right[i])) for every i in [0, left.size()). Chunked over the
+  // deterministic thread pool (region "sim.batch") when it is engaged;
+  // results are bitwise-identical to per-pair Similarity() calls at any
+  // thread count. `out` must hold left.size() floats; left/right must have
+  // equal length.
+  void EvaluateBatch(std::span<const AttributeProfile* const> left,
+                     std::span<const AttributeProfile* const> right,
+                     float* out) const;
+
   // Stable, human-readable name (appears in feature and rule-atom names).
   virtual std::string_view name() const = 0;
 
@@ -40,10 +53,29 @@ class SimilarityFunction {
   // out-of-range values due to floating-point error; the caller clamps.
   virtual double ComputeNonNull(const AttributeProfile& a,
                                 const AttributeProfile& b) const = 0;
+
+  // One contiguous chunk of EvaluateBatch. The default loops Similarity();
+  // functions whose scalar path allocates per call (the edit-based dynamic
+  // programs, Monge-Elkan) override it to hoist their scratch buffers out
+  // of the pair loop while running the exact same arithmetic.
+  virtual void EvaluateChunk(const AttributeProfile* const* left,
+                             const AttributeProfile* const* right,
+                             size_t begin, size_t end, float* out) const;
 };
 
 // Number of similarity functions in the registry (matches the paper's 21).
 inline constexpr int kNumSimilarityFunctions = 21;
+
+// Bump whenever any similarity function changes semantics (or the registry
+// changes order/membership): persistent feature-matrix caches key on the
+// registry fingerprint, so a bump invalidates every cached matrix.
+inline constexpr uint32_t kSimRegistryVersion = 1;
+
+// Stable 64-bit fingerprint of the registry: kSimRegistryVersion plus the
+// ordered function names. Feature caches mix it into their content hash so
+// cached matrices go stale the moment the similarity semantics could have
+// moved (see docs/featurization.md).
+uint64_t SimRegistryFingerprint();
 
 // The full registry, in a stable order. Index i of a feature vector block
 // corresponds to AllSimilarityFunctions()[i]. The returned objects live for

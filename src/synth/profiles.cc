@@ -1,5 +1,7 @@
 #include "synth/profiles.h"
 
+#include <type_traits>
+
 #include "util/check.h"
 
 namespace alem {
@@ -266,6 +268,59 @@ SynthProfile ProfileByName(const std::string& name) {
   }
   if (name == "SocialMedia") return SocialMediaProfile();
   ALEM_CHECK(false);  // Unknown dataset name.
+}
+
+namespace {
+
+uint64_t Fnv1aMix(uint64_t hash, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t MixString(uint64_t hash, const std::string& s) {
+  hash = Fnv1aMix(hash, s.data(), s.size());
+  return Fnv1aMix(hash, "|", 1);
+}
+
+template <typename T>
+uint64_t MixValue(uint64_t hash, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Fnv1aMix(hash, &value, sizeof(value));
+}
+
+}  // namespace
+
+uint64_t ProfileFingerprint(const SynthProfile& profile) {
+  // Every field that influences generated records contributes; doubles are
+  // hashed by bit pattern (profile parameters are exact literals, never
+  // computed values, so bit equality is the right identity).
+  uint64_t hash = 1469598103934665603ULL;
+  hash = MixString(hash, profile.name);
+  hash = MixValue(hash, static_cast<int32_t>(profile.domain));
+  hash = MixValue(hash, static_cast<uint64_t>(profile.columns.size()));
+  for (const ColumnSpec& column : profile.columns) {
+    hash = MixString(hash, column.name);
+    hash = MixValue(hash, static_cast<int32_t>(column.kind));
+  }
+  hash = MixValue(hash, static_cast<int64_t>(profile.num_matched_entities));
+  hash = MixValue(hash, static_cast<int64_t>(profile.num_left_only));
+  hash = MixValue(hash, static_cast<int64_t>(profile.num_right_only));
+  hash = MixValue(hash, profile.multi_match_rate);
+  hash = MixValue(hash, static_cast<int64_t>(profile.max_right_copies));
+  hash = MixValue(hash, profile.left_noise);
+  hash = MixValue(hash, profile.right_noise);
+  hash = MixValue(hash, profile.null_rate);
+  hash = MixValue(hash, static_cast<int64_t>(profile.family_size));
+  hash = MixValue(hash, profile.family_desc_share);
+  hash = MixValue(hash, static_cast<int32_t>(profile.heterogeneous_modes));
+  hash = MixValue(hash, profile.sibling_rate);
+  hash = MixValue(hash, profile.blocking_threshold);
+  hash = MixValue(hash, profile.vocab_seed);
+  return hash;
 }
 
 }  // namespace alem

@@ -135,6 +135,12 @@ std::vector<SynthProfile> AllPublicProfiles();
 // Looks a profile up by its dataset name; aborts on unknown names.
 SynthProfile ProfileByName(const std::string& name);
 
+// Stable 64-bit fingerprint over every profile field that influences the
+// generated records. The persistent feature-matrix cache mixes it into its
+// key, so editing a profile automatically invalidates cached matrices for
+// that dataset (see docs/featurization.md).
+uint64_t ProfileFingerprint(const SynthProfile& profile);
+
 }  // namespace alem
 
 #endif  // ALEM_SYNTH_PROFILES_H_

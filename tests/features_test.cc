@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "features/boolean_features.h"
 #include "features/feature_extractor.h"
 #include "features/feature_matrix.h"
+#include "features/feature_schema.h"
 #include "sim/similarity.h"
 
 namespace alem {
@@ -54,6 +57,65 @@ TEST(FeatureMatrixTest, AppendRowSetsDims) {
   EXPECT_EQ(matrix.rows(), 2u);
   EXPECT_EQ(matrix.dims(), 2u);
   EXPECT_FLOAT_EQ(matrix.At(1, 1), 4.0f);
+}
+
+TEST(FeatureMatrixTest, SerializeRoundTripIsBitwise) {
+  FeatureMatrix matrix(4, 3);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t d = 0; d < 3; ++d) {
+      matrix.Set(r, d, 0.3f * static_cast<float>(r) -
+                           0.7f * static_cast<float>(d) + 0.001f);
+    }
+  }
+  const std::string blob = matrix.Serialize();
+  FeatureMatrix parsed;
+  ASSERT_TRUE(FeatureMatrix::Deserialize(blob, &parsed));
+  ASSERT_EQ(parsed.rows(), matrix.rows());
+  ASSERT_EQ(parsed.dims(), matrix.dims());
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    EXPECT_EQ(std::memcmp(parsed.Row(r), matrix.Row(r),
+                          matrix.dims() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(FeatureMatrixTest, DeserializeRejectsCorruption) {
+  FeatureMatrix matrix(4, 3);
+  matrix.Set(2, 1, 0.5f);
+  const std::string blob = matrix.Serialize();
+  FeatureMatrix parsed;
+
+  // Truncation (header-only and mid-payload) and trailing garbage.
+  EXPECT_FALSE(FeatureMatrix::Deserialize(blob.substr(0, 10), &parsed));
+  EXPECT_FALSE(
+      FeatureMatrix::Deserialize(blob.substr(0, blob.size() - 5), &parsed));
+  EXPECT_FALSE(FeatureMatrix::Deserialize(blob + "x", &parsed));
+
+  // Wrong magic and a flipped payload byte (checksum mismatch).
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(FeatureMatrix::Deserialize(bad_magic, &parsed));
+  std::string bad_payload = blob;
+  bad_payload[blob.size() - 3] =
+      static_cast<char>(bad_payload[blob.size() - 3] + 1);
+  EXPECT_FALSE(FeatureMatrix::Deserialize(bad_payload, &parsed));
+
+  // The valid blob still parses after all the rejected variants.
+  EXPECT_TRUE(FeatureMatrix::Deserialize(blob, &parsed));
+}
+
+// ---- FeatureSchema ----
+
+TEST(FeatureSchemaTest, FromDatasetNamesAndShape) {
+  const EmDataset dataset = MakeDataset();
+  const FeatureSchema schema = FeatureSchema::FromDataset(dataset);
+  EXPECT_EQ(schema.num_matched_columns(), 2u);
+  EXPECT_EQ(schema.num_dims(),
+            static_cast<size_t>(kNumSimilarityFunctions) * 2);
+  EXPECT_EQ(schema.FeatureName(0), "Identity(name)");
+  const auto names = schema.FeatureNames();
+  ASSERT_EQ(names.size(), schema.num_dims());
+  EXPECT_EQ(names.back(), "MongeElkan(price)");
 }
 
 // ---- FeatureExtractor ----
@@ -112,6 +174,23 @@ TEST(FeatureExtractorTest, ExtractAllAlignsWithPairs) {
   }
 }
 
+TEST(FeatureExtractorTest, ExtractBatchMatchesPerPairBitwise) {
+  const EmDataset dataset = MakeDataset();
+  FeatureExtractor extractor(dataset);
+  const std::vector<RecordPair> pairs = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  FeatureMatrix batch;
+  extractor.ExtractBatch(pairs, &batch);
+  ASSERT_EQ(batch.rows(), pairs.size());
+  ASSERT_EQ(batch.dims(), extractor.num_dims());
+  std::vector<float> expected(extractor.num_dims());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    extractor.ExtractPair(pairs[i], expected.data());
+    for (size_t d = 0; d < extractor.num_dims(); ++d) {
+      EXPECT_EQ(batch.At(i, d), expected[d]) << extractor.FeatureName(d);
+    }
+  }
+}
+
 TEST(FeatureExtractorTest, FeatureNamesMentionFunctionAndColumn) {
   const EmDataset dataset = MakeDataset();
   FeatureExtractor extractor(dataset);
@@ -126,14 +205,14 @@ TEST(FeatureExtractorTest, FeatureNamesMentionFunctionAndColumn) {
 TEST(BooleanFeaturizerTest, AtomGridIs3Sims10ThresholdsPerColumn) {
   const EmDataset dataset = MakeDataset();
   FeatureExtractor extractor(dataset);
-  BooleanFeaturizer featurizer(extractor);
+  BooleanFeaturizer featurizer(extractor.schema());
   EXPECT_EQ(featurizer.num_atoms(), 2u * 3u * 10u);
 }
 
 TEST(BooleanFeaturizerTest, ThresholdSemantics) {
   const EmDataset dataset = MakeDataset();
   FeatureExtractor extractor(dataset);
-  BooleanFeaturizer featurizer(extractor);
+  BooleanFeaturizer featurizer(extractor.schema());
 
   const std::vector<RecordPair> pairs = {{0, 0}, {0, 1}};
   const FeatureMatrix float_features = extractor.ExtractAll(pairs);
@@ -155,7 +234,7 @@ TEST(BooleanFeaturizerTest, ThresholdSemantics) {
 TEST(BooleanFeaturizerTest, IdenticalPairSatisfiesAllAtoms) {
   const EmDataset dataset = MakeDataset();
   FeatureExtractor extractor(dataset);
-  BooleanFeaturizer featurizer(extractor);
+  BooleanFeaturizer featurizer(extractor.schema());
   const FeatureMatrix float_features = extractor.ExtractAll({{0, 0}});
   const FeatureMatrix boolean = featurizer.Featurize(float_features);
   for (size_t a = 0; a < featurizer.num_atoms(); ++a) {
@@ -166,7 +245,7 @@ TEST(BooleanFeaturizerTest, IdenticalPairSatisfiesAllAtoms) {
 TEST(BooleanFeaturizerTest, DescriptionsAreReadable) {
   const EmDataset dataset = MakeDataset();
   FeatureExtractor extractor(dataset);
-  BooleanFeaturizer featurizer(extractor);
+  BooleanFeaturizer featurizer(extractor.schema());
   EXPECT_EQ(featurizer.atom(0).description, "Identity(name) >= 0.1");
 }
 

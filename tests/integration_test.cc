@@ -14,7 +14,7 @@ namespace {
 
 const PreparedDataset& Data() {
   static const PreparedDataset& data =
-      *new PreparedDataset(PrepareDataset(AbtBuyProfile(), 11, 0.3));
+      *new PreparedDataset(PrepareDataset({AbtBuyProfile(), 11, 0.3}));
   return data;
 }
 

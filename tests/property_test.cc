@@ -20,8 +20,8 @@ class PipelinePropertyTest : public ::testing::TestWithParam<int> {
       const std::vector<SynthProfile> profiles = AllPublicProfiles();
       it = cache
                .emplace(index,
-                        PrepareDataset(profiles[static_cast<size_t>(index)],
-                                       13, 0.2))
+                        PrepareDataset(
+                            {profiles[static_cast<size_t>(index)], 13, 0.2}))
                .first;
     }
     return it->second;

@@ -73,6 +73,37 @@ TEST_P(SimilarityPropertyTest, RangeIsZeroOne) {
   }
 }
 
+TEST_P(SimilarityPropertyTest, BatchMatchesScalarBitwise) {
+  const std::vector<std::string> samples = {
+      "sony camera", "canon powershot", "x",  "aaaa bbbb cccc",
+      "42",          "sny camra",       "",   "digital camera dsc w55",
+      "kx-200 zoom", "299.99",          "sony"};
+  std::vector<AttributeProfile> profiles;
+  profiles.reserve(samples.size());
+  for (const auto& s : samples) profiles.push_back(P(s));
+
+  // Cross product, repeated past the batch chunk size (256) so EvaluateBatch
+  // splits the work across multiple ParallelFor chunks.
+  std::vector<const AttributeProfile*> left;
+  std::vector<const AttributeProfile*> right;
+  while (left.size() < 600) {
+    for (const auto& a : profiles) {
+      for (const auto& b : profiles) {
+        left.push_back(&a);
+        right.push_back(&b);
+      }
+    }
+  }
+  std::vector<float> batch(left.size(), -1.0f);
+  function().EvaluateBatch(left, right, batch.data());
+  for (size_t i = 0; i < left.size(); ++i) {
+    const float scalar =
+        static_cast<float>(function().Similarity(*left[i], *right[i]));
+    EXPECT_EQ(batch[i], scalar)
+        << function().name() << " diverges at pair " << i;
+  }
+}
+
 TEST_P(SimilarityPropertyTest, Symmetric) {
   const std::vector<std::pair<std::string, std::string>> pairs = {
       {"sony camera", "canon camera"},

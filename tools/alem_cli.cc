@@ -8,7 +8,7 @@
 //   alem_cli run --dataset=<name> --approach=<name>
 //       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
-//       [--threads=N]
+//       [--threads=N] [--cache-dir=DIR] [--no-cache]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
 //       [--report=PATH.json]
 //       Runs one active-learning experiment and prints the learning curve.
@@ -16,13 +16,17 @@
 //       scoring / forest fits / batch predict (default: ALEM_THREADS env
 //       or hardware concurrency; 1 = the serial path). Results are
 //       bitwise-identical at every thread count (docs/parallelism.md).
-//       --trace captures every pipeline span (prepare/train/evaluate/
-//       select/label/fit) as Chrome trace-event JSON for chrome://tracing
-//       or Perfetto; --metrics dumps the counter/gauge/histogram registry
-//       as CSV; --report writes the RunReport flight-recorder JSON (config
-//       + build stamp + per-iteration curve + counters + span rollup +
-//       wall/RSS totals) consumed by tools/alem_report
-//       (see docs/observability.md).
+//       --cache-dir points the persistent feature-matrix cache at DIR
+//       (default: $ALEM_CACHE_DIR; unset = no cache); --no-cache disables
+//       it regardless (docs/featurization.md). --trace captures every
+//       pipeline span (prepare/train/evaluate/select/label/fit) as Chrome
+//       trace-event JSON for chrome://tracing or Perfetto; --metrics dumps
+//       the counter/gauge/histogram registry as CSV; --report writes the
+//       RunReport flight-recorder JSON (config + build stamp +
+//       per-iteration curve + counters + span rollup + wall/RSS totals)
+//       consumed by tools/alem_report. Absent path flags fall back to the
+//       ALEM_TRACE_DIR / ALEM_REPORT_DIR directory knobs, same as the
+//       bench binaries (see docs/observability.md).
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on
@@ -40,6 +44,7 @@
 #include "core/run_report.h"
 #include "ml/metrics.h"
 #include "ml/serialization.h"
+#include "obs/artifacts.h"
 #include "obs/obs.h"
 #include "parallel/pool.h"
 #include "synth/profiles.h"
@@ -47,6 +52,22 @@
 
 namespace alem {
 namespace {
+
+// Maps the shared CLI flags onto PrepareOptions; all three commands that
+// prepare a dataset (stats/run/apply) accept the same provenance and cache
+// knobs.
+PrepareOptions PrepareOptionsFromFlags(const FlagParser& flags,
+                                       const obs::ArtifactOptions& artifacts,
+                                       const SynthProfile& profile) {
+  PrepareOptions options;
+  options.profile = profile;
+  options.data_seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.scale = flags.GetDouble("scale", 1.0);
+  options.use_cache = artifacts.use_cache;
+  options.cache_dir = artifacts.cache_dir;
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  return options;
+}
 
 int CommandList() {
   std::printf("datasets:\n");
@@ -73,9 +94,10 @@ int CommandList() {
 int CommandStats(const FlagParser& flags) {
   const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
   const SynthProfile profile = ProfileByName(dataset_name);
+  const obs::ArtifactOptions artifacts =
+      obs::ArtifactOptionsFromFlags(flags, "alem_cli_stats_" + dataset_name);
   const PreparedDataset data =
-      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
-                     flags.GetDouble("scale", 1.0));
+      PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
   std::printf("dataset:             %s\n", data.name.c_str());
   std::printf("left records:        %zu\n", data.dataset.left.num_rows());
   std::printf("right records:       %zu\n", data.dataset.right.num_rows());
@@ -115,54 +137,6 @@ int SaveModel(const RunResult& result, const std::string& path) {
   return 0;
 }
 
-// Enables observability subsystems per the --trace/--trace-jsonl/--metrics
-// flags. Must run before PrepareDataset so preprocessing spans are captured.
-void EnableObservability(const FlagParser& flags) {
-  // --report needs both subsystems: counters for the counter section and
-  // spans for the self-time rollup.
-  if (flags.Has("trace") || flags.Has("trace-jsonl") || flags.Has("report")) {
-    obs::SetTracingEnabled(true);
-  }
-  if (flags.Has("metrics") || flags.Has("trace") ||
-      flags.Has("trace-jsonl") || flags.Has("report")) {
-    obs::SetMetricsEnabled(true);
-  }
-}
-
-// Writes the requested trace/metrics exports; returns 0 on success.
-int ExportObservability(const FlagParser& flags) {
-  int status = 0;
-  if (flags.Has("trace")) {
-    const std::string path = flags.GetString("trace", "trace.json");
-    if (obs::TraceRecorder::Global().WriteChromeTrace(path)) {
-      std::printf("trace written to %s (%zu spans)\n", path.c_str(),
-                  obs::TraceRecorder::Global().size());
-    } else {
-      std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
-      status = 1;
-    }
-  }
-  if (flags.Has("trace-jsonl")) {
-    const std::string path = flags.GetString("trace-jsonl", "trace.jsonl");
-    if (obs::TraceRecorder::Global().WriteJsonl(path)) {
-      std::printf("span JSONL written to %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write spans to %s\n", path.c_str());
-      status = 1;
-    }
-  }
-  if (flags.Has("metrics")) {
-    const std::string path = flags.GetString("metrics", "metrics.csv");
-    if (obs::MetricsRegistry::Global().WriteCsv(path)) {
-      std::printf("metrics written to %s\n", path.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
-      status = 1;
-    }
-  }
-  return status;
-}
-
 int CommandRun(const FlagParser& flags) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
@@ -174,14 +148,12 @@ int CommandRun(const FlagParser& flags) {
                  approach_name.c_str());
     return 1;
   }
-  EnableObservability(flags);
-  if (flags.Has("threads")) {
-    parallel::SetNumThreads(static_cast<int>(flags.GetInt("threads", 1)));
-  }
+  const obs::ArtifactOptions artifacts = obs::ArtifactOptionsFromFlags(
+      flags, "alem_cli_run_" + dataset_name + "_" + approach_name);
+  artifacts.EnableObservability();
   const SynthProfile profile = ProfileByName(dataset_name);
   const PreparedDataset data =
-      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
-                     flags.GetDouble("scale", 1.0));
+      PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
 
   RunConfig config;
   config.approach = spec;
@@ -218,9 +190,9 @@ int CommandRun(const FlagParser& flags) {
     std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
   }
 
-  int obs_status = ExportObservability(flags);
-  if (flags.Has("report")) {
-    const std::string path = flags.GetString("report", "report.json");
+  int obs_status = artifacts.ExportTraceAndMetrics();
+  if (!artifacts.report_path.empty()) {
+    const std::string& path = artifacts.report_path;
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
@@ -256,9 +228,10 @@ int CommandApply(const FlagParser& flags) {
   }
   const SynthProfile profile =
       ProfileByName(flags.GetString("dataset", "Abt-Buy"));
+  const obs::ArtifactOptions artifacts =
+      obs::ArtifactOptionsFromFlags(flags, "alem_cli_apply_" + profile.name);
   const PreparedDataset data =
-      PrepareDataset(profile, static_cast<uint64_t>(flags.GetInt("seed", 7)),
-                     flags.GetDouble("scale", 1.0));
+      PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
 
   std::vector<int> predictions;
   RandomForest forest;

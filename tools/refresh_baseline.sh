@@ -1,12 +1,19 @@
 #!/bin/sh
-# Regenerates the golden RunReport baseline that the `report` ctest label
-# gates against (bench/baselines/cli_abtbuy_linear_margin.report.json).
+# Regenerates the golden RunReport baselines that the `report` ctest label
+# gates against (bench/baselines/cli_abtbuy_*.report.json): one per golden
+# workload — linear-margin (margin selection), trees5 (forest + QBC), and
+# linear-qbc4 (bootstrap committee).
 #
-# Run this after a change that *intentionally* moves the learning curve
-# (new featurizer, different seeding, selector fixes) so the regression
-# gate tracks the new expected quality. Gratuitous refreshes defeat the
-# gate — diff the old and new baseline first:
+# Run this after a change that *intentionally* moves a learning curve or a
+# pipeline counter (new featurizer, different seeding, selector fixes) so
+# the regression gate tracks the new expected behavior. Gratuitous
+# refreshes defeat the gate — diff old vs new first:
 #   build/tools/alem_report diff bench/baselines/... NEW.report.json
+#
+# Each baseline is produced against a fresh, empty feature-cache directory,
+# so its featurize.cache.* counters record the canonical cold run
+# (miss=1, write=1, hit=0); report_gate.sh replays the same cold setup and
+# compares counters exactly.
 #
 # Usage: tools/refresh_baseline.sh [BUILD_DIR]   (default: build)
 set -eu
@@ -18,17 +25,25 @@ case "$build_dir" in
   *) build_dir="$repo_root/$build_dir" ;;
 esac
 cli="$build_dir/tools/alem_cli"
-baseline="$repo_root/bench/baselines/cli_abtbuy_linear_margin.report.json"
+baseline_dir="$repo_root/bench/baselines"
+work="$(mktemp -d "${TMPDIR:-/tmp}/alem_refresh.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
 
 if [ ! -x "$cli" ]; then
   echo "error: $cli not built (cmake --build $build_dir first)" >&2
   exit 1
 fi
 
-mkdir -p "$(dirname "$baseline")"
-# The exact workload the report_gate test replays: small enough to run in
+mkdir -p "$baseline_dir"
+# The exact workloads the report_gate test replays: small enough to run in
 # seconds, deterministic at any thread count.
-"$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
-    --max-labels=60 --threads=1 --quiet --report="$baseline"
-echo "baseline refreshed: $baseline"
-echo "review with: $build_dir/tools/alem_report show $baseline"
+for approach in linear-margin trees5 linear-qbc4; do
+  name="$(printf '%s' "$approach" | tr '-' '_')"
+  baseline="$baseline_dir/cli_abtbuy_$name.report.json"
+  mkdir -p "$work/cache_$name"
+  "$cli" run --dataset=Abt-Buy --approach="$approach" --scale=0.25 \
+      --max-labels=60 --threads=1 --quiet \
+      --cache-dir="$work/cache_$name" --report="$baseline"
+  echo "baseline refreshed: $baseline"
+done
+echo "review with: $build_dir/tools/alem_report show <baseline>"

@@ -6,13 +6,20 @@
 #
 # Gates, in order:
 #   1. Determinism: the CLI's learning curve must be bitwise identical at
-#      --threads=1 and --threads=4 (alem_report check --exact-curve).
-#   2. Quality: the fresh curve must match the committed golden baseline
-#      within the default F1 tolerance (alem_report check).
-#   3. Sensitivity: a baseline whose F1 is perturbed beyond tolerance
+#      --threads=1 (cold, fresh feature-cache dir) and --threads=4 with
+#      the cache disabled (alem_report check --exact-curve) — one check
+#      covering both thread-count and cache-vs-recompute invariance.
+#   2. Cache warmth: rerunning the same workload against the now-warm
+#      cache must produce a bitwise-identical curve, report
+#      config.cache="hit", and count exactly one featurize.cache.hit.
+#   3. Quality + counters: fresh runs of all three golden workloads
+#      (linear-margin, trees5, linear-qbc4) must match their committed
+#      baselines within the F1 tolerance with every counter exact
+#      (--counter-tol=0, including featurize.cache.*).
+#   4. Sensitivity: a baseline whose F1 is perturbed beyond tolerance
 #      must make the check FAIL (guards against a gate that passes
 #      everything).
-#   4. Bench path: a tiny bench run with ALEM_REPORT_DIR set must emit a
+#   5. Bench path: a tiny bench run with ALEM_REPORT_DIR set must emit a
 #      schema-valid bench report, and `alem_report aggregate` must roll
 #      it into a BENCH_alembench.json.
 set -eu
@@ -27,36 +34,74 @@ case "$build_dir" in
 esac
 cli="$build_dir/tools/alem_cli"
 report_tool="$build_dir/tools/alem_report"
-baseline="$repo_root/bench/baselines/cli_abtbuy_linear_margin.report.json"
+baseline_dir="$repo_root/bench/baselines"
 work="$(mktemp -d "${TMPDIR:-/tmp}/alem_report_gate.XXXXXX")"
 trap 'rm -rf "$work"' EXIT
 
-for f in "$cli" "$report_tool" "$baseline"; do
+for f in "$cli" "$report_tool" \
+    "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
+    "$baseline_dir/cli_abtbuy_trees5.report.json" \
+    "$baseline_dir/cli_abtbuy_linear_qbc4.report.json"; do
   if [ ! -e "$f" ]; then
     echo "error: missing $f" >&2
     exit 1
   fi
 done
 
+# The golden workload: Abt-Buy at scale 0.25, 60 labels. $1 = approach,
+# $2 = threads, $3 = output report, $4... = extra flags (cache policy).
 run_cli() {
-  threads="$1"
-  out="$2"
-  "$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
+  approach="$1"; threads="$2"; out="$3"; shift 3
+  "$cli" run --dataset=Abt-Buy --approach="$approach" --scale=0.25 \
       --max-labels=60 --threads="$threads" --quiet --report="$out" \
-      > /dev/null
+      "$@" > /dev/null
 }
 
-echo "[1/4] determinism: curve bitwise identical at 1 vs 4 threads"
-run_cli 1 "$work/t1.report.json"
-run_cli 4 "$work/t4.report.json"
+echo "[1/5] determinism: cold cached t1 curve == uncached t4 curve"
+mkdir -p "$work/cache"
+run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
+run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/4] quality: fresh run within F1 tolerance of the golden baseline"
-"$report_tool" check "$baseline" "$work/t1.report.json"
+echo "[2/5] cache warmth: warm rerun identical, provenance says hit"
+run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
+"$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
+    --exact-curve
+python3 "$repo_root/tools/trace_summary.py" --check \
+    --report "$work/warm.report.json"
+python3 - "$work/t1.report.json" "$work/warm.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cold = json.load(f)
+with open(sys.argv[2]) as f:
+    warm = json.load(f)
+assert cold["config"]["cache"] == "miss", cold["config"]["cache"]
+assert warm["config"]["cache"] == "hit", warm["config"]["cache"]
+assert cold["counters"].get("featurize.cache.miss") == 1, cold["counters"]
+assert cold["counters"].get("featurize.cache.write") == 1, cold["counters"]
+assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
+assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
+EOF
 
-echo "[3/4] sensitivity: perturbed baseline must fail the check"
-python3 - "$baseline" "$work/perturbed.json" <<'EOF'
+echo "[3/5] quality: three golden workloads within tolerance, counters exact"
+for approach in linear-margin trees5 linear-qbc4; do
+  name="$(printf '%s' "$approach" | tr '-' '_')"
+  candidate="$work/cand_$name.report.json"
+  if [ "$approach" = "linear-margin" ]; then
+    candidate="$work/t1.report.json"  # Already produced cold above.
+  else
+    mkdir -p "$work/cache_$name"
+    run_cli "$approach" 1 "$candidate" --cache-dir="$work/cache_$name"
+  fi
+  "$report_tool" check \
+      "$baseline_dir/cli_abtbuy_$name.report.json" "$candidate" \
+      --counter-tol=0
+done
+
+echo "[4/5] sensitivity: perturbed baseline must fail the check"
+python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
+    "$work/perturbed.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
@@ -74,7 +119,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[4/4] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/5] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \

@@ -215,7 +215,7 @@ REPORT_REQUIRED_FIELDS = ("schema_version", "kind", "tool", "build",
                           "config", "counters", "gauges", "spans", "process")
 REPORT_CONFIG_FIELDS = ("dataset", "approach", "data_seed", "run_seed",
                         "scale", "threads", "seed_size", "batch_size",
-                        "max_labels", "oracle_noise", "holdout")
+                        "max_labels", "oracle_noise", "holdout", "cache")
 REPORT_CURVE_FIELDS = ("iteration", "labels_used", "precision", "recall",
                        "f1", "train_seconds", "select_seconds",
                        "wait_seconds")
@@ -264,6 +264,8 @@ def check_report(report_path):
                                 f"{span['self_seconds']} exceeds total "
                                 f"{span['total_seconds']}")
 
+    failures.extend(check_report_cache(report, kind))
+
     if kind == "run":
         curve = report.get("curve", [])
         if not curve:
@@ -296,14 +298,55 @@ def check_report(report_path):
     return failures
 
 
+def check_report_cache(report, kind):
+    """Validates feature-cache counters against spans and provenance.
+
+    Whenever the persistent feature cache was touched (any
+    featurize.cache.* counter present), the report must also carry the
+    harness.featurize.cache span, writes can never outnumber misses
+    (every write follows a miss), and a "run" report's config.cache
+    provenance must agree with the counters.
+    """
+    failures = []
+    counters = report.get("counters", {})
+    hits = counters.get("featurize.cache.hit", 0)
+    misses = counters.get("featurize.cache.miss", 0)
+    writes = counters.get("featurize.cache.write", 0)
+    if hits + misses + writes == 0:
+        return failures
+    span_names = {span.get("name") for span in report.get("spans", [])}
+    if "harness.featurize.cache" not in span_names:
+        failures.append("featurize.cache.* counters present but no "
+                        "harness.featurize.cache span recorded")
+    if writes > misses:
+        failures.append(f"featurize.cache.write {writes} exceeds "
+                        f"featurize.cache.miss {misses} (every write "
+                        "follows a miss)")
+    if kind == "run":
+        cache = report.get("config", {}).get("cache", "off")
+        if cache == "off":
+            failures.append("featurize.cache.* counters present but "
+                            "config.cache is 'off'")
+        elif cache == "hit" and hits == 0:
+            failures.append("config.cache is 'hit' but "
+                            "featurize.cache.hit is zero")
+        elif cache == "miss" and misses == 0:
+            failures.append("config.cache is 'miss' but "
+                            "featurize.cache.miss is zero")
+    return failures
+
+
 def run_cli(cli_path, out_dir):
     """Runs a tiny traced experiment; returns its artifact paths."""
     trace_path = os.path.join(out_dir, "smoke.trace.json")
     metrics_path = os.path.join(out_dir, "smoke.metrics.csv")
     report_path = os.path.join(out_dir, "smoke.report.json")
+    cache_dir = os.path.join(out_dir, "cache")
+    os.makedirs(cache_dir, exist_ok=True)
     command = [
         cli_path, "run", "--dataset=Abt-Buy", "--approach=linear-margin",
         "--scale=0.25", "--max-labels=60", "--quiet",
+        f"--cache-dir={cache_dir}",  # Cold miss: exercises the cache checks.
         f"--trace={trace_path}", f"--metrics={metrics_path}",
         f"--report={report_path}"
     ]
