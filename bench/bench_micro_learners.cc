@@ -1,13 +1,24 @@
 // Micro-benchmarks: training and prediction throughput of every learner at
 // active-learning-realistic training-set sizes (google-benchmark).
+//
+// The *PoolBatch cases drive the batch inference engine (Learner::
+// PredictBatch / ProbaBatch / MarginBatch fanned out under ml.batch) against
+// the scalar per-row loops right above them; the Arg is the thread count.
+// Emit a comparable artifact with:
+//   bench_micro_learners --benchmark_out=BENCH_micro_learners.json \
+//       --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
 #include "core/harness.h"
+#include "core/learner.h"
 #include "ml/dnf_rule.h"
 #include "ml/linear_svm.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "parallel/pool.h"
 #include "synth/profiles.h"
 
 namespace alem {
@@ -121,6 +132,87 @@ void BM_SvmMarginPool(benchmark::State& state) {
                           static_cast<int64_t>(pool.rows()));
 }
 BENCHMARK(BM_SvmMarginPool);
+
+// ---- Batch inference engine vs. the scalar loops above. Arg = threads. ----
+
+std::vector<size_t> PoolRows() {
+  std::vector<size_t> rows(Data().float_features.rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  return rows;
+}
+
+void BM_SvmMarginPoolBatch(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  SvmLearner learner;
+  learner.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  const std::vector<size_t> rows = PoolRows();
+  std::vector<double> margins(rows.size());
+  parallel::SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    learner.MarginBatch(pool, rows, margins.data());
+    benchmark::DoNotOptimize(margins.data());
+  }
+  parallel::SetNumThreads(1);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_SvmMarginPoolBatch)->Arg(1)->Arg(4);
+
+void BM_NeuralNetProbaPool(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  NeuralNetwork model(NeuralNetConfig{});
+  model.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t i = 0; i < pool.rows(); ++i) {
+      sum += model.PredictProbability(pool.Row(i));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pool.rows()));
+}
+BENCHMARK(BM_NeuralNetProbaPool);
+
+void BM_NeuralNetProbaPoolBatch(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  NeuralNetLearner learner;
+  learner.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  const std::vector<size_t> rows = PoolRows();
+  std::vector<double> probabilities(rows.size());
+  parallel::SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    learner.ProbaBatch(pool, rows, probabilities.data());
+    benchmark::DoNotOptimize(probabilities.data());
+  }
+  parallel::SetNumThreads(1);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_NeuralNetProbaPoolBatch)->Arg(1)->Arg(4);
+
+void BM_ForestPredictPoolBatch(benchmark::State& state) {
+  const TrainingSlice slice = SliceOf(300, false);
+  RandomForestConfig config;
+  config.num_trees = 20;
+  ForestLearner learner(config);
+  learner.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  const std::vector<size_t> rows = PoolRows();
+  std::vector<int> predictions(rows.size());
+  parallel::SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    learner.PredictBatch(pool, rows, predictions.data());
+    benchmark::DoNotOptimize(predictions.data());
+  }
+  parallel::SetNumThreads(1);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_ForestPredictPoolBatch)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace alem

@@ -63,11 +63,15 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
     if (trainable && candidate_.trained()) {
       size_t predicted_positives = 0;
       size_t correct_positives = 0;
-      for (const size_t row : pool.ActiveLabeledRows()) {
-        if (candidate_.Predict(pool.features().Row(row)) == 1) {
+      const std::vector<size_t> labeled_rows = pool.ActiveLabeledRows();
+      std::vector<int> gate_predictions(labeled_rows.size());
+      candidate_.PredictBatch(pool.features(), labeled_rows,
+                              gate_predictions.data());
+      for (size_t i = 0; i < labeled_rows.size(); ++i) {
+        if (gate_predictions[i] == 1) {
           ++predicted_positives;
-          correct_positives +=
-              static_cast<size_t>(pool.LabelOf(row) == 1 ? 1 : 0);
+          correct_positives += static_cast<size_t>(
+              pool.LabelOf(labeled_rows[i]) == 1 ? 1 : 0);
         }
       }
       if (predicted_positives >= config_.min_labeled_positives) {
@@ -91,13 +95,25 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
             candidate_precision >= config_.precision_threshold));
       const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
       std::vector<int> predictions(eval_rows.size());
+      // Gather exactly the rows the candidate must judge (those no accepted
+      // member already covers), sweep them in one batch, then scatter back.
+      std::vector<size_t> candidate_rows;
+      std::vector<size_t> candidate_slots;
       for (size_t i = 0; i < eval_rows.size(); ++i) {
         const size_t row = eval_rows[i];
-        int prediction = accepted_positive[row];
-        if (prediction == 0 && include_candidate) {
-          prediction = candidate_.Predict(pool.features().Row(row));
+        predictions[i] = accepted_positive[row];
+        if (predictions[i] == 0 && include_candidate) {
+          candidate_rows.push_back(row);
+          candidate_slots.push_back(i);
         }
-        predictions[i] = prediction;
+      }
+      if (!candidate_rows.empty()) {
+        std::vector<int> candidate_predictions(candidate_rows.size());
+        candidate_.PredictBatch(pool.features(), candidate_rows,
+                                candidate_predictions.data());
+        for (size_t j = 0; j < candidate_rows.size(); ++j) {
+          predictions[candidate_slots[j]] = candidate_predictions[j];
+        }
       }
       stats.metrics = evaluator_.Evaluate(predictions);
       stats.evaluate_seconds = evaluate_span.Close();
@@ -109,11 +125,18 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
       // labeled and unlabeled sets.
       obs::ObsSpan coverage_span("ensemble.coverage", "core");
       ++accepted_count_;
+      std::vector<size_t> uncovered;
+      uncovered.reserve(pool.size());
       for (size_t row = 0; row < pool.size(); ++row) {
         if (accepted_positive[row] != 0 || pool.IsExcluded(row)) continue;
-        if (candidate_.Predict(pool.features().Row(row)) == 1) {
-          accepted_positive[row] = 1;
-          pool.Exclude(row);
+        uncovered.push_back(row);
+      }
+      std::vector<int> covered(uncovered.size());
+      candidate_.PredictBatch(pool.features(), uncovered, covered.data());
+      for (size_t j = 0; j < uncovered.size(); ++j) {
+        if (covered[j] == 1) {
+          accepted_positive[uncovered[j]] = 1;
+          pool.Exclude(uncovered[j]);
         }
       }
     }

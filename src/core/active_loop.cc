@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "obs/obs.h"
-#include "parallel/pool.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -107,16 +106,9 @@ std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
       obs::ObsSpan evaluate_span("loop.evaluate", "core");
       const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
       std::vector<int> predictions(eval_rows.size());
-      parallel::ParallelFor(
-          0, eval_rows.size(), 512,
-          [&](size_t begin, size_t end, size_t chunk) {
-            (void)chunk;
-            for (size_t i = begin; i < end; ++i) {
-              predictions[i] =
-                  learner_.Predict(pool.features().Row(eval_rows[i]));
-            }
-          },
-          "loop.evaluate");
+      // One batched sweep through the learner's vector kernel (the fan-out
+      // runs under "ml.batch" inside this evaluate span).
+      learner_.PredictBatch(pool.features(), eval_rows, predictions.data());
       stats.metrics = evaluator_.Evaluate(predictions);
       CollectInterpretability(learner_, &stats);
 

@@ -68,6 +68,10 @@ PreparedDataset PrepareDataset(const PrepareOptions& options) {
     }
     if (loaded) {
       prepared.feature_cache = "hit";
+      // A cache hit skips every similarity evaluation, so nothing registers
+      // the sim.calls counter; register it explicitly so warm-run reports
+      // still carry sim.calls=0 instead of omitting the key.
+      obs::MetricsRegistry::Global().GetCounter("sim.calls");
     } else {
       // Recompute (also covers the corrupt / truncated / stale-rows cases,
       // which Load reports as misses) and publish for the next process.

@@ -1,9 +1,18 @@
 #include "core/learner.h"
 
+#include <numeric>
+
 #include "obs/obs.h"
 #include "parallel/pool.h"
 
 namespace alem {
+namespace {
+
+// Chunk size for the ml.batch fan-out. Matches the selectors' scoring grain
+// so batch spans tile the same row ranges the scalar scoring loops did.
+constexpr size_t kBatchGrain = 256;
+
+}  // namespace
 
 void Learner::Fit(const FeatureMatrix& features,
                   const std::vector<int>& labels) {
@@ -18,20 +27,75 @@ void Learner::Fit(const FeatureMatrix& features,
   latency.Observe(seconds);
 }
 
-std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
-  // Chunked over rows; each chunk writes its own disjoint slice, so the
-  // result is identical at any thread count.
-  std::vector<int> predictions(features.rows());
+void Learner::PredictBatch(const FeatureMatrix& features,
+                           std::span<const size_t> rows, int* out) const {
+  // Each chunk writes its own disjoint slice and every kernel preserves the
+  // scalar per-row accumulation order, so the result is bitwise-identical
+  // at any thread count.
   parallel::ParallelFor(
-      0, features.rows(), 512,
+      0, rows.size(), kBatchGrain,
       [&](size_t begin, size_t end, size_t chunk) {
         (void)chunk;
-        for (size_t i = begin; i < end; ++i) {
-          predictions[i] = Predict(features.Row(i));
-        }
+        PredictChunkImpl(features, rows.subspan(begin, end - begin),
+                         out + begin);
       },
-      "ml.predict_batch");
+      "ml.batch");
+  obs::CountPredictCalls(rows.size());
+}
+
+void Learner::ProbaBatch(const FeatureMatrix& features,
+                         std::span<const size_t> rows, double* out) const {
+  parallel::ParallelFor(
+      0, rows.size(), kBatchGrain,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        ProbaChunkImpl(features, rows.subspan(begin, end - begin), out + begin);
+      },
+      "ml.batch");
+}
+
+std::vector<int> Learner::PredictAll(const FeatureMatrix& features) const {
+  std::vector<int> predictions(features.rows());
+  std::vector<size_t> rows(features.rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  PredictBatch(features, rows, predictions.data());
   return predictions;
+}
+
+void Learner::PredictChunkImpl(const FeatureMatrix& features,
+                               std::span<const size_t> rows, int* out) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = PredictImpl(features.Row(rows[i]));
+  }
+}
+
+void Learner::ProbaChunkImpl(const FeatureMatrix& features,
+                             std::span<const size_t> rows, double* out) const {
+  // Learners without a calibrated score report the hard 0/1 prediction.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = static_cast<double>(PredictImpl(features.Row(rows[i])));
+  }
+}
+
+void MarginLearner::MarginBatch(const FeatureMatrix& features,
+                                std::span<const size_t> rows,
+                                double* out) const {
+  parallel::ParallelFor(
+      0, rows.size(), kBatchGrain,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        MarginChunkImpl(features, rows.subspan(begin, end - begin),
+                        out + begin);
+      },
+      "ml.batch");
+}
+
+void MarginLearner::MarginChunkImpl(const FeatureMatrix& features,
+                                    std::span<const size_t> rows,
+                                    double* out) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = Margin(features.Row(rows[i]));
+  }
 }
 
 // ---- SvmLearner ----
@@ -54,6 +118,18 @@ void SvmLearner::set_seed(uint64_t seed) {
 }
 
 double SvmLearner::Margin(const float* x) const { return model_.Margin(x); }
+
+void SvmLearner::PredictChunkImpl(const FeatureMatrix& features,
+                                  std::span<const size_t> rows,
+                                  int* out) const {
+  model_.PredictBatch(features, rows, out);
+}
+
+void SvmLearner::MarginChunkImpl(const FeatureMatrix& features,
+                                 std::span<const size_t> rows,
+                                 double* out) const {
+  model_.MarginBatch(features, rows, out);
+}
 
 std::vector<size_t> SvmLearner::BlockingDimensions(size_t k) const {
   return model_.TopWeightDimensions(k);
@@ -84,6 +160,24 @@ double NeuralNetLearner::Margin(const float* x) const {
   return model_.Margin(x);
 }
 
+void NeuralNetLearner::PredictChunkImpl(const FeatureMatrix& features,
+                                        std::span<const size_t> rows,
+                                        int* out) const {
+  model_.PredictBatch(features, rows, out);
+}
+
+void NeuralNetLearner::ProbaChunkImpl(const FeatureMatrix& features,
+                                      std::span<const size_t> rows,
+                                      double* out) const {
+  model_.ProbaBatch(features, rows, out);
+}
+
+void NeuralNetLearner::MarginChunkImpl(const FeatureMatrix& features,
+                                       std::span<const size_t> rows,
+                                       double* out) const {
+  model_.MarginBatch(features, rows, out);
+}
+
 std::vector<size_t> NeuralNetLearner::BlockingDimensions(size_t k) const {
   return model_.TopImportanceDimensions(k);
 }
@@ -111,6 +205,18 @@ void ForestLearner::set_seed(uint64_t seed) {
 
 double ForestLearner::PositiveFraction(const float* x) const {
   return model_.PositiveFraction(x);
+}
+
+void ForestLearner::PredictChunkImpl(const FeatureMatrix& features,
+                                     std::span<const size_t> rows,
+                                     int* out) const {
+  model_.PredictBatch(features, rows, out);
+}
+
+void ForestLearner::ProbaChunkImpl(const FeatureMatrix& features,
+                                   std::span<const size_t> rows,
+                                   double* out) const {
+  model_.PositiveFractionBatch(features, rows, out);
 }
 
 // ---- RuleLearner ----

@@ -20,6 +20,7 @@
 #define ALEM_CORE_LEARNER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,18 @@ namespace alem {
 // nested under the selector's committee span), and Predict counts calls
 // through a branch-predicted no-op when metrics are off. Subclasses
 // implement FitImpl / PredictImpl.
+//
+// Batch inference: PredictBatch / ProbaBatch (and MarginLearner's
+// MarginBatch) score a FeatureMatrix row range in one call, fanned out over
+// the deterministic thread pool under the "ml.batch" obs region and routed
+// to per-learner vector kernels — a blocked GEMV sweep for the linear SVM,
+// a chunked fused forward pass for the neural net, a contiguous
+// flattened-tree traversal for the forest. The kernels preserve the scalar
+// accumulation order per row, so batch results are bitwise-identical to
+// per-row Predict / Margin at every thread count. Selectors, the
+// active-learning loops, and the evaluator all score through this path;
+// the scalar entry points remain for selection-time blocking's early-exit
+// and one-off calls.
 class Learner {
  public:
   virtual ~Learner() = default;
@@ -53,7 +66,24 @@ class Learner {
     obs::CountPredictCall();
     return PredictImpl(x);
   }
-  virtual std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  // Batched prediction: out[i] = prediction for row rows[i] of `features`
+  // (out must hold rows.size() slots). Chunked over the thread pool under
+  // the "ml.batch" region; counts rows.size() toward ml.predict_calls —
+  // exactly what per-row Predict would have counted.
+  void PredictBatch(const FeatureMatrix& features,
+                    std::span<const size_t> rows, int* out) const;
+
+  // Batched positive-class score per row: the forest reports its positive
+  // tree fraction, the neural net its sigmoid probability; learners without
+  // a calibrated score fall back to the 0/1 prediction. Does NOT count
+  // predict calls (parity with the scalar PositiveFraction / Margin paths,
+  // which never did).
+  void ProbaBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                  double* out) const;
+
+  // All rows of `features`, in order, through the batch path.
+  std::vector<int> PredictAll(const FeatureMatrix& features) const;
 
   virtual bool trained() const = 0;
 
@@ -70,6 +100,14 @@ class Learner {
   virtual void FitImpl(const FeatureMatrix& features,
                        const std::vector<int>& labels) = 0;
   virtual int PredictImpl(const float* x) const = 0;
+
+  // Serial batch kernels over one chunk of rows, invoked from inside the
+  // PredictBatch / ProbaBatch fan-out. Defaults loop the scalar PredictImpl;
+  // learners with vectorized kernels override.
+  virtual void PredictChunkImpl(const FeatureMatrix& features,
+                                std::span<const size_t> rows, int* out) const;
+  virtual void ProbaChunkImpl(const FeatureMatrix& features,
+                              std::span<const size_t> rows, double* out) const;
 };
 
 // Learners for which a margin (distance-to-decision-boundary proxy) exists.
@@ -77,6 +115,12 @@ class MarginLearner : public Learner {
  public:
   // |Margin| near 0 means the learner is ambiguous about x.
   virtual double Margin(const float* x) const = 0;
+
+  // Batched signed margins over a row range, fanned out under "ml.batch"
+  // like PredictBatch; bitwise-identical to per-row Margin. Does not count
+  // predict calls (the scalar margin path never did).
+  void MarginBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                   double* out) const;
 
   // Indices of the top-k most discriminative feature dimensions, used as
   // selection-time blocking dimensions (Section 5.1 of the paper): when all
@@ -87,6 +131,12 @@ class MarginLearner : public Learner {
     (void)k;
     return {};
   }
+
+ protected:
+  // Serial margin kernel for one chunk; default loops the scalar Margin.
+  virtual void MarginChunkImpl(const FeatureMatrix& features,
+                               std::span<const size_t> rows,
+                               double* out) const;
 };
 
 // Linear SVM learner.
@@ -108,6 +158,12 @@ class SvmLearner final : public MarginLearner {
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
+  // Blocked w·Xᵀ sweeps over the chunk (LinearSvm batch kernels).
+  void PredictChunkImpl(const FeatureMatrix& features,
+                        std::span<const size_t> rows, int* out) const override;
+  void MarginChunkImpl(const FeatureMatrix& features,
+                       std::span<const size_t> rows,
+                       double* out) const override;
 
  private:
   LinearSvm model_;
@@ -134,6 +190,15 @@ class NeuralNetLearner final : public MarginLearner {
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
+  // Chunked fused forward passes (NeuralNetwork batch kernels).
+  void PredictChunkImpl(const FeatureMatrix& features,
+                        std::span<const size_t> rows, int* out) const override;
+  void ProbaChunkImpl(const FeatureMatrix& features,
+                      std::span<const size_t> rows,
+                      double* out) const override;
+  void MarginChunkImpl(const FeatureMatrix& features,
+                       std::span<const size_t> rows,
+                       double* out) const override;
 
  private:
   NeuralNetwork model_;
@@ -159,6 +224,14 @@ class ForestLearner final : public Learner {
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
+  // Flattened-forest traversal with per-row register vote accumulation.
+  // ProbaChunkImpl yields the positive tree fraction per row (the QBC vote
+  // signal).
+  void PredictChunkImpl(const FeatureMatrix& features,
+                        std::span<const size_t> rows, int* out) const override;
+  void ProbaChunkImpl(const FeatureMatrix& features,
+                      std::span<const size_t> rows,
+                      double* out) const override;
 
  private:
   RandomForest model_;

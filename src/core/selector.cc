@@ -164,30 +164,28 @@ std::vector<size_t> QbcSelector::Select(const Learner& model,
       FitBootstrapCommittee(model, pool, committee_size_, round_seed);
   const double committee_seconds = committee_span.Close();
 
-  // Example scoring: committee vote variance per unlabeled example, chunked
-  // over the unlabeled pool. Tie keys are hashed from (tie_seed, row) so
+  // Example scoring: committee vote variance per unlabeled example. Each
+  // member sweeps the whole pool through its batch kernel (the PredictBatch
+  // fan-out runs under "ml.batch" inside this scoring span); integer votes
+  // then accumulate member-by-member, so the variance is exactly the scalar
+  // per-example committee vote. Tie keys are hashed from (tie_seed, row) so
   // they do not depend on scoring order.
   obs::ObsSpan scoring_span("selector.scoring", "selector", name_);
   const uint64_t tie_seed = rng_.Next();
+  std::vector<int> votes(unlabeled.size(), 0);
+  std::vector<int> member_votes(unlabeled.size());
+  for (const auto& member : committee) {
+    member->PredictBatch(pool.features(), unlabeled, member_votes.data());
+    for (size_t i = 0; i < unlabeled.size(); ++i) votes[i] += member_votes[i];
+  }
   std::vector<ScoredRow> scored(unlabeled.size());
-  parallel::ParallelFor(
-      0, unlabeled.size(), kScoringGrain,
-      [&](size_t begin, size_t end, size_t chunk) {
-        (void)chunk;
-        for (size_t i = begin; i < end; ++i) {
-          const size_t row = unlabeled[i];
-          const float* x = pool.features().Row(row);
-          int positive_votes = 0;
-          for (const auto& member : committee) {
-            positive_votes += member->Predict(x);
-          }
-          const double p = static_cast<double>(positive_votes) /
-                           static_cast<double>(committee_size_);
-          scored[i] =
-              ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
-        }
-      },
-      "selector.scoring");
+  for (size_t i = 0; i < unlabeled.size(); ++i) {
+    const size_t row = unlabeled[i];
+    const double p = static_cast<double>(votes[i]) /
+                     static_cast<double>(committee_size_);
+    scored[i] =
+        ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
+  }
   std::vector<size_t> rows = TopKLargest(scored, k);
   const double scoring_seconds = scoring_span.Close();
   CountScored(unlabeled.size());
@@ -215,22 +213,20 @@ std::vector<size_t> ForestQbcSelector::Select(const Learner& model,
   if (unlabeled.empty()) return {};
 
   // The committee already exists (it was trained as part of the forest), so
-  // selection is scoring only, chunked over the unlabeled pool.
+  // selection is scoring only: one ProbaBatch sweep yields every example's
+  // positive tree fraction through the flattened-forest kernel
+  // (all trees in one contiguous node array), fanned out under "ml.batch".
   obs::ObsSpan scoring_span("selector.scoring", "selector", "ForestQBC");
   const uint64_t tie_seed = rng_.Next();
+  std::vector<double> fractions(unlabeled.size());
+  forest->ProbaBatch(pool.features(), unlabeled, fractions.data());
   std::vector<ScoredRow> scored(unlabeled.size());
-  parallel::ParallelFor(
-      0, unlabeled.size(), kScoringGrain,
-      [&](size_t begin, size_t end, size_t chunk) {
-        (void)chunk;
-        for (size_t i = begin; i < end; ++i) {
-          const size_t row = unlabeled[i];
-          const double p = forest->PositiveFraction(pool.features().Row(row));
-          scored[i] =
-              ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
-        }
-      },
-      "selector.scoring");
+  for (size_t i = 0; i < unlabeled.size(); ++i) {
+    const size_t row = unlabeled[i];
+    const double p = fractions[i];
+    scored[i] =
+        ScoredRow{row, p * (1.0 - p), parallel::TaskSeed(tie_seed, row)};
+  }
   std::vector<size_t> rows = TopKLargest(scored, k);
   const double scoring_seconds = scoring_span.Close();
   CountScored(unlabeled.size());
@@ -265,18 +261,21 @@ std::vector<size_t> MarginSelector::Select(const Learner& model,
     blocking = margin_learner->BlockingDimensions(blocking_dims_);
   }
 
-  // Blocking makes the per-chunk output variable-length, so chunks fill
-  // private slots that are concatenated in chunk index order afterwards —
-  // the merged order equals the serial scan order at any thread count.
+  // Two passes. First a cheap blocking scan — the scalar early-exit path —
+  // gathers survivors; blocking makes the per-chunk output variable-length,
+  // so chunks fill private slots that are concatenated in chunk index order
+  // afterwards (the merged order equals the serial scan order at any thread
+  // count). Survivors then get their margins in one MarginBatch sweep
+  // through the learner's vector kernel (fanned out under "ml.batch").
   obs::ObsSpan scoring_span("selector.scoring", "selector", "Margin");
   const size_t num_chunks =
       parallel::NumChunks(0, unlabeled.size(), kScoringGrain);
-  std::vector<std::vector<ScoredRow>> chunk_scored(num_chunks);
+  std::vector<std::vector<size_t>> chunk_survivors(num_chunks);
   std::vector<size_t> chunk_pruned(num_chunks, 0);
   parallel::ParallelFor(
       0, unlabeled.size(), kScoringGrain,
       [&](size_t begin, size_t end, size_t chunk) {
-        std::vector<ScoredRow>& local = chunk_scored[chunk];
+        std::vector<size_t>& local = chunk_survivors[chunk];
         local.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
           const size_t row = unlabeled[i];
@@ -294,18 +293,23 @@ std::vector<size_t> MarginSelector::Select(const Learner& model,
               continue;
             }
           }
-          local.push_back(
-              ScoredRow{row, std::abs(margin_learner->Margin(x)), 0});
+          local.push_back(row);
         }
       },
       "selector.scoring");
-  std::vector<ScoredRow> scored;
-  scored.reserve(unlabeled.size());
+  std::vector<size_t> survivors;
+  survivors.reserve(unlabeled.size());
   size_t pruned = 0;
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    scored.insert(scored.end(), chunk_scored[chunk].begin(),
-                  chunk_scored[chunk].end());
+    survivors.insert(survivors.end(), chunk_survivors[chunk].begin(),
+                     chunk_survivors[chunk].end());
     pruned += chunk_pruned[chunk];
+  }
+  std::vector<double> margins(survivors.size());
+  margin_learner->MarginBatch(pool.features(), survivors, margins.data());
+  std::vector<ScoredRow> scored(survivors.size());
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    scored[i] = ScoredRow{survivors[i], std::abs(margins[i]), 0};
   }
   std::vector<size_t> rows = TopKSmallest(scored, k);
   const double scoring_seconds = scoring_span.Close();
@@ -427,6 +431,12 @@ std::vector<size_t> DensityWeightedSelector::Select(const Learner& model,
     reference_norms[i] = std::sqrt(norm);
   }
 
+  // Margins for the whole pool come from one MarginBatch sweep up front
+  // (bitwise-identical to per-row Margin); the density pass below then only
+  // computes cosine similarities against the reference sample.
+  std::vector<double> margins(unlabeled.size());
+  margin_learner->MarginBatch(pool.features(), unlabeled, margins.data());
+
   std::vector<ScoredRow> scored(unlabeled.size());
   parallel::ParallelFor(
       0, unlabeled.size(), kScoringGrain,
@@ -452,8 +462,7 @@ std::vector<size_t> DensityWeightedSelector::Select(const Learner& model,
           }
           density /= static_cast<double>(sample_size);
 
-          const double uncertainty =
-              1.0 / (std::abs(margin_learner->Margin(x)) + 1e-6);
+          const double uncertainty = 1.0 / (std::abs(margins[index]) + 1e-6);
           scored[index] =
               ScoredRow{row, uncertainty * std::pow(density, beta_), 0};
         }

@@ -154,6 +154,43 @@ std::vector<int> DecisionTree::PredictAll(const FeatureMatrix& features) const {
   return predictions;
 }
 
+int32_t DecisionTree::FlattenInto(std::vector<FlatNode>* out) const {
+  ALEM_CHECK(trained());
+  // Preorder with an explicit stack; both children of a split are allocated
+  // together so sibling nodes share cache lines.
+  struct Pending {
+    int node;      // Index into nodes_.
+    int32_t slot;  // Flat index reserved for it in *out.
+  };
+  const int32_t flat_root = static_cast<int32_t>(out->size());
+  out->emplace_back();
+  std::vector<Pending> stack{{root_, flat_root}};
+  while (!stack.empty()) {
+    const Pending current = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(current.node)];
+    FlatNode& flat = (*out)[static_cast<size_t>(current.slot)];
+    if (node.is_leaf) {
+      flat.left = kFlatLeaf;
+      flat.right = node.label;
+      continue;
+    }
+    const int32_t left_slot = static_cast<int32_t>(out->size());
+    out->emplace_back();
+    const int32_t right_slot = static_cast<int32_t>(out->size());
+    out->emplace_back();
+    // emplace_back may reallocate; re-resolve the slot reference.
+    FlatNode& split = (*out)[static_cast<size_t>(current.slot)];
+    split.left = left_slot;
+    split.right = right_slot;
+    split.dim = static_cast<uint32_t>(node.dim);
+    split.threshold = node.threshold;
+    stack.push_back({node.right, right_slot});
+    stack.push_back({node.left, left_slot});
+  }
+  return flat_root;
+}
+
 void DecisionTree::CollectClauses(int node, TreeDnfClause& path,
                                   std::vector<TreeDnfClause>* clauses) const {
   const Node& current = nodes_[static_cast<size_t>(node)];

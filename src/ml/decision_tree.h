@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "features/feature_matrix.h"
+#include "ml/tree_flat.h"
 #include "util/rng.h"
 
 namespace alem {
@@ -49,6 +50,11 @@ class DecisionTree {
 
   int Predict(const float* x) const;
   std::vector<int> PredictAll(const FeatureMatrix& features) const;
+
+  // Appends this tree to *out in the compact FlatNode layout (preorder,
+  // sibling children adjacent) and returns the flat index of the root.
+  // FlatPredict over the appended nodes is bitwise-identical to Predict.
+  int32_t FlattenInto(std::vector<FlatNode>* out) const;
 
   bool trained() const { return !nodes_.empty(); }
   int depth() const { return depth_; }

@@ -72,13 +72,51 @@ double LinearSvm::Margin(const float* x) const {
   return dot;
 }
 
+void LinearSvm::MarginBatch(const FeatureMatrix& features,
+                            std::span<const size_t> rows, double* out) const {
+  ALEM_CHECK(trained());
+  // Register-blocked GEMV: for a block of rows, walk the weight vector once
+  // and feed every row's accumulator from the same loaded weight. Each
+  // accumulator starts at bias_ and sees weights_[j] * x[j] in ascending j,
+  // exactly the scalar Margin order, so the sums are bitwise-identical.
+  constexpr size_t kBlock = 8;
+  const size_t d = weights_.size();
+  const double* w = weights_.data();
+  for (size_t base = 0; base < rows.size(); base += kBlock) {
+    const size_t b = std::min(kBlock, rows.size() - base);
+    const float* x[kBlock];
+    double acc[kBlock];
+    for (size_t r = 0; r < b; ++r) {
+      x[r] = features.Row(rows[base + r]);
+      acc[r] = bias_;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const double wj = w[j];
+      for (size_t r = 0; r < b; ++r) acc[r] += wj * x[r][j];
+    }
+    for (size_t r = 0; r < b; ++r) out[base + r] = acc[r];
+  }
+}
+
 int LinearSvm::Predict(const float* x) const { return Margin(x) > 0.0 ? 1 : 0; }
+
+void LinearSvm::PredictBatch(const FeatureMatrix& features,
+                             std::span<const size_t> rows, int* out) const {
+  // Small fixed margin buffer so prediction stays allocation-free per block.
+  constexpr size_t kBlock = 64;
+  double margins[kBlock];
+  for (size_t base = 0; base < rows.size(); base += kBlock) {
+    const size_t b = std::min(kBlock, rows.size() - base);
+    MarginBatch(features, rows.subspan(base, b), margins);
+    for (size_t r = 0; r < b; ++r) out[base + r] = margins[r] > 0.0 ? 1 : 0;
+  }
+}
 
 std::vector<int> LinearSvm::PredictAll(const FeatureMatrix& features) const {
   std::vector<int> predictions(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    predictions[i] = Predict(features.Row(i));
-  }
+  std::vector<size_t> rows(features.rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  PredictBatch(features, rows, predictions.data());
   return predictions;
 }
 

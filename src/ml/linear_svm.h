@@ -11,6 +11,7 @@
 #define ALEM_ML_LINEAR_SVM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,8 +49,18 @@ class LinearSvm {
   // selector only compares magnitudes so the scale cancels).
   double Margin(const float* x) const;
 
+  // Batched margins: out[i] = Margin of row rows[i]. A register-blocked
+  // w·Xᵀ GEMV sweep over blocks of rows that reloads each weight once per
+  // block instead of once per row; per-row accumulation order matches
+  // Margin exactly, so results are bitwise-identical to the scalar path.
+  void MarginBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                   double* out) const;
+
   // 1 if Margin(x) > 0 else 0.
   int Predict(const float* x) const;
+  // Batched predictions over selected rows (margin sign, as Predict).
+  void PredictBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                    int* out) const;
   std::vector<int> PredictAll(const FeatureMatrix& features) const;
 
   bool trained() const { return !weights_.empty(); }

@@ -418,20 +418,116 @@ std::vector<size_t> NeuralNetwork::TopImportanceDimensions(size_t k) const {
   return order;
 }
 
+void NeuralNetwork::MarginBatch(const FeatureMatrix& features,
+                                std::span<const size_t> rows,
+                                double* out) const {
+  ALEM_CHECK(trained());
+  // Rows per forward sub-chunk: big enough that each hidden layer's weight
+  // matrix is streamed once per ~32 examples instead of once per example,
+  // small enough that two activation buffers stay L1/L2-resident.
+  constexpr size_t kChunk = 32;
+  size_t max_width = 0;
+  for (const Layer& layer : layers_) {
+    max_width = std::max(max_width, static_cast<size_t>(layer.out));
+  }
+  // Per-call scratch, allocated once and reused for every chunk. The
+  // batch-norm divisors are hoisted per layer so each sqrt is taken once
+  // per call instead of once per (unit, example) as in scalar Margin.
+  std::vector<double> activation(kChunk * max_width);
+  std::vector<double> next(kChunk * max_width);
+  const float* x[kChunk];
+  std::vector<std::vector<double>> bn_sqrts(layers_.size());
+  if (config_.use_batch_norm) {
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      bn_sqrts[l].resize(static_cast<size_t>(layer.out));
+      for (size_t o = 0; o < bn_sqrts[l].size(); ++o) {
+        bn_sqrts[l][o] = std::sqrt(layer.running_var[o] + kBnEpsilon);
+      }
+    }
+  }
+
+  for (size_t base = 0; base < rows.size(); base += kChunk) {
+    const size_t b = std::min(kChunk, rows.size() - base);
+    for (size_t i = 0; i < b; ++i) x[i] = features.Row(rows[base + i]);
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      const size_t out_width = static_cast<size_t>(layer.out);
+      const size_t in_width = static_cast<size_t>(layer.in);
+      // Row-outer / unit-inner: EM networks are narrow, so the layer's
+      // whole weight matrix stays cache-resident across the chunk while
+      // each example's input row stays in L1 for all of its units — with
+      // ReLU and inference batch-norm fused into the same sweep. The
+      // per-(row, unit) expressions are copied from Margin verbatim (the
+      // batch-norm divisor stays a division by the hoisted sqrt), so every
+      // intermediate double is bitwise-identical to the scalar pass.
+      for (size_t i = 0; i < b; ++i) {
+        const float* xi = x[i];
+        const double* a = activation.data() + i * in_width;
+        double* n = next.data() + i * out_width;
+        for (size_t o = 0; o < out_width; ++o) {
+          const double* w = layer.weights.data() + o * in_width;
+          double z = layer.bias[o];
+          if (l == 0) {
+            for (size_t j = 0; j < in_width; ++j) z += w[j] * xi[j];
+          } else {
+            for (size_t j = 0; j < in_width; ++j) z += w[j] * a[j];
+          }
+          z = std::max(0.0, z);  // ReLU.
+          if (config_.use_batch_norm) {
+            z = layer.gamma[o] * (z - layer.running_mean[o]) / bn_sqrts[l][o] +
+                layer.beta[o];
+          }
+          n[o] = z;  // No dropout at inference.
+        }
+      }
+      activation.swap(next);
+    }
+
+    const size_t last = static_cast<size_t>(layers_.back().out);
+    for (size_t i = 0; i < b; ++i) {
+      double z = out_bias_;
+      const double* a = activation.data() + i * last;
+      for (size_t j = 0; j < last; ++j) z += out_weights_[j] * a[j];
+      out[base + i] = z;
+    }
+  }
+}
+
 double NeuralNetwork::PredictProbability(const float* x) const {
   return Sigmoid(Margin(x));
+}
+
+void NeuralNetwork::ProbaBatch(const FeatureMatrix& features,
+                               std::span<const size_t> rows,
+                               double* out) const {
+  MarginBatch(features, rows, out);
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = Sigmoid(out[i]);
 }
 
 int NeuralNetwork::Predict(const float* x) const {
   return PredictProbability(x) > 0.5 ? 1 : 0;
 }
 
+void NeuralNetwork::PredictBatch(const FeatureMatrix& features,
+                                 std::span<const size_t> rows,
+                                 int* out) const {
+  constexpr size_t kBlock = 64;
+  double proba[kBlock];
+  for (size_t base = 0; base < rows.size(); base += kBlock) {
+    const size_t b = std::min(kBlock, rows.size() - base);
+    ProbaBatch(features, rows.subspan(base, b), proba);
+    for (size_t r = 0; r < b; ++r) out[base + r] = proba[r] > 0.5 ? 1 : 0;
+  }
+}
+
 std::vector<int> NeuralNetwork::PredictAll(
     const FeatureMatrix& features) const {
   std::vector<int> predictions(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    predictions[i] = Predict(features.Row(i));
-  }
+  std::vector<size_t> rows(features.rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  PredictBatch(features, rows, predictions.data());
   return predictions;
 }
 

@@ -16,6 +16,7 @@
 #define ALEM_ML_NEURAL_NET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,11 +52,28 @@ class NeuralNetwork {
   // 0.5 <=> maximally ambiguous example.
   double Margin(const float* x) const;
 
+  // Batched margins: out[i] = Margin of row rows[i]. The forward pass runs
+  // chunked — sub-chunks of rows share one cache-resident pass over each
+  // hidden layer's weight matrix, with ReLU and inference batch-norm fused
+  // into the same sweep, batch-norm divisors hoisted per layer, and scratch
+  // reused across chunks (mirroring SimilarityFunction::EvaluateChunk).
+  // Per-(row, unit) arithmetic matches Margin exactly, so results are
+  // bitwise-identical to the scalar path.
+  void MarginBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                   double* out) const;
+
   // Sigmoid(Margin(x)).
   double PredictProbability(const float* x) const;
 
+  // Batched probabilities: sigmoid fused onto the MarginBatch output.
+  void ProbaBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                  double* out) const;
+
   // 1 if probability > 0.5.
   int Predict(const float* x) const;
+  // Batched predictions over selected rows (probability > 0.5, as Predict).
+  void PredictBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                    int* out) const;
   std::vector<int> PredictAll(const FeatureMatrix& features) const;
 
   bool trained() const { return !layers_.empty(); }

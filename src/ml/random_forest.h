@@ -9,11 +9,13 @@
 #define ALEM_ML_RANDOM_FOREST_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "features/feature_matrix.h"
 #include "ml/decision_tree.h"
+#include "ml/tree_flat.h"
 
 namespace alem {
 
@@ -35,6 +37,21 @@ class RandomForest {
   // Fraction of trees voting positive (the committee agreement statistic).
   double PositiveFraction(const float* x) const;
 
+  // Batched committee voting over selected rows: votes[i] = #trees voting
+  // positive on row rows[i]. Traverses the contiguous flattened forest
+  // (16-byte nodes, all trees in one array) examples-outer, each example's
+  // vote accumulating in a register across trees in one cache-friendly
+  // pass. Integer votes are exact, so every derived statistic is
+  // bitwise-equal to the scalar path.
+  void VotesBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                  int* votes) const;
+
+  // Batched PositiveFraction / Predict built on VotesBatch.
+  void PositiveFractionBatch(const FeatureMatrix& features,
+                             std::span<const size_t> rows, double* out) const;
+  void PredictBatch(const FeatureMatrix& features, std::span<const size_t> rows,
+                    int* out) const;
+
   // Majority vote: 1 when at least half of the trees vote positive.
   int Predict(const float* x) const;
   std::vector<int> PredictAll(const FeatureMatrix& features) const;
@@ -52,8 +69,16 @@ class RandomForest {
   friend std::string SerializeForest(const RandomForest& model);
   friend bool DeserializeForest(const std::string& text, RandomForest* model);
 
+  // Rebuilds the contiguous flattened-forest arrays from trees_. Must be
+  // called whenever trees_ changes (Fit, deserialization).
+  void RebuildFlatForest();
+
   RandomForestConfig config_;
   std::vector<DecisionTree> trees_;
+  // All trees' nodes concatenated in one contiguous array (16-byte FlatNode
+  // layout), plus each tree's root offset — the batch traversal structure.
+  std::vector<FlatNode> flat_nodes_;
+  std::vector<int32_t> flat_roots_;
 };
 
 }  // namespace alem

@@ -211,6 +211,8 @@ bool DeserializeForest(const std::string& text, RandomForest* model) {
     if (!DeserializeTree(tree_blob, &result.trees_[t])) return false;
     cursor = next;
   }
+  // Restore the contiguous batch-traversal arrays alongside the trees.
+  result.RebuildFlatForest();
   *model = std::move(result);
   return true;
 }

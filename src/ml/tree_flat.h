@@ -1,0 +1,52 @@
+// Flattened decision-tree representation for batch traversal.
+//
+// The pointer-style build nodes of DecisionTree (~40 bytes each, scattered
+// by recursion order) are fine for fitting but wasteful for the scoring hot
+// path, where a forest visits every tree for every example. FlatNode packs
+// a node into 16 bytes and DecisionTree::FlattenInto lays a whole tree out
+// in preorder with sibling children adjacent, so an entire Corleone-sized
+// tree occupies a handful of cache lines. RandomForest keeps all of its
+// trees concatenated in one contiguous FlatNode array, so the whole forest
+// stays cache-resident while an examples-outer sweep accumulates committee
+// votes per row in a register (see docs/parallelism.md).
+//
+// Flat traversal is bitwise-identical to DecisionTree::Predict: the split
+// comparison (x[dim] < threshold goes left) and the leaf labels are copied
+// verbatim; only the memory layout changes.
+
+#ifndef ALEM_ML_TREE_FLAT_H_
+#define ALEM_ML_TREE_FLAT_H_
+
+#include <cstdint>
+
+namespace alem {
+
+// Marks a FlatNode as a leaf (stored in `left`; the label lives in `right`).
+inline constexpr int32_t kFlatLeaf = -1;
+
+// One node of a flattened tree. For split nodes `left`/`right` are flat
+// indices into the same array; for leaves `left` is kFlatLeaf and `right`
+// holds the 0/1 label.
+struct FlatNode {
+  int32_t left = kFlatLeaf;
+  int32_t right = 0;
+  uint32_t dim = 0;
+  float threshold = 0.0f;
+};
+static_assert(sizeof(FlatNode) == 16, "FlatNode must stay 16 bytes");
+
+// Walks the flattened tree rooted at `root` for feature row `x`. Identical
+// decision path to DecisionTree::Predict (goes right when
+// x[dim] >= threshold).
+inline int FlatPredict(const FlatNode* nodes, int32_t root, const float* x) {
+  int32_t index = root;
+  while (nodes[index].left != kFlatLeaf) {
+    const FlatNode& node = nodes[index];
+    index = x[node.dim] < node.threshold ? node.left : node.right;
+  }
+  return nodes[index].right;
+}
+
+}  // namespace alem
+
+#endif  // ALEM_ML_TREE_FLAT_H_

@@ -71,6 +71,15 @@ inline void CountPredictCall() {
   }
 }
 
+// Bulk variant for the batch prediction path: one relaxed add covers a
+// whole row range, keeping ml.predict_calls exactly equal to what per-row
+// counting would have produced.
+inline void CountPredictCalls(uint64_t n) {
+  if (MetricsEnabled()) {
+    detail::g_predict_calls.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
 // ---- Metrics ----------------------------------------------------------
 
 // Monotonically increasing count. Thread-safe; no-op while metrics are off.

@@ -1,0 +1,319 @@
+// Batch-vs-scalar bitwise pins for the batch inference engine.
+//
+// Every batch kernel (SVM blocked GEMV margin sweep, neural-net chunked
+// fused forward pass, flattened-forest traversal) must reproduce the scalar
+// per-row path bit for bit — the selectors and golden-baseline replay rely
+// on it. These tests pin exact equality (EXPECT_EQ on doubles, no
+// tolerance) across chunk boundaries, degenerate row sets, and thread
+// counts 1 and 4 through the core Learner fan-out.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/learner.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "ml/serialization.h"
+#include "ml/tree_flat.h"
+#include "parallel/pool.h"
+#include "util/rng.h"
+
+namespace alem {
+namespace {
+
+// Two noisy clusters plus a sprinkle of exact zeros so tree splits and SVM
+// blocking-style sparsity both get exercised.
+void MakeBlobs(size_t n, size_t dims, uint64_t seed, FeatureMatrix* features,
+               std::vector<int>* labels) {
+  Rng rng(seed);
+  *features = FeatureMatrix(n, dims);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    const double center = positive ? 0.8 : 0.2;
+    for (size_t d = 0; d < dims; ++d) {
+      const float v =
+          static_cast<float>(center + rng.NextGaussian() * 0.15);
+      features->Set(i, d, rng.NextBernoulli(0.1) ? 0.0f : v);
+    }
+    (*labels)[i] = positive ? 1 : 0;
+  }
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0u);
+  return rows;
+}
+
+// Row counts straddling the kernels' internal chunk sizes: the SVM blocks
+// by 8, the NN chunks by 32, the core fan-out grains by 256.
+const size_t kEdgeSizes[] = {0, 1, 7, 8, 9, 31, 32, 33, 63, 64, 65, 257};
+
+// ---- LinearSvm ----
+
+TEST(MlBatchTest, SvmMarginBatchBitwiseEqualsScalar) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(300, 6, 1, &features, &labels);
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+
+  const std::vector<size_t> rows = AllRows(features.rows());
+  std::vector<double> batch(rows.size());
+  svm.MarginBatch(features, rows, batch.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch[i], svm.Margin(features.Row(rows[i]))) << "row " << i;
+  }
+}
+
+TEST(MlBatchTest, SvmBatchEdgeRowCounts) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(300, 6, 2, &features, &labels);
+  LinearSvm svm(LinearSvmConfig{});
+  svm.Fit(features, labels);
+
+  for (const size_t count : kEdgeSizes) {
+    // Non-contiguous rows: stride-3 wraparound through the pool.
+    std::vector<size_t> rows(count);
+    for (size_t i = 0; i < count; ++i) rows[i] = (i * 3) % features.rows();
+    std::vector<double> margins(count);
+    std::vector<int> predictions(count);
+    svm.MarginBatch(features, rows, margins.data());
+    svm.PredictBatch(features, rows, predictions.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(margins[i], svm.Margin(features.Row(rows[i])));
+      EXPECT_EQ(predictions[i], svm.Predict(features.Row(rows[i])));
+    }
+  }
+}
+
+// ---- NeuralNetwork ----
+
+TEST(MlBatchTest, NeuralNetProbaBatchBitwiseAcrossChunkBoundaries) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 4, 3, &features, &labels);
+  NeuralNetConfig config;
+  config.epochs = 10;
+  NeuralNetwork net(config);
+  net.Fit(features, labels);
+
+  for (const size_t count : kEdgeSizes) {
+    std::vector<size_t> rows(count);
+    for (size_t i = 0; i < count; ++i) rows[i] = (i * 7) % features.rows();
+    std::vector<double> margins(count);
+    std::vector<double> probabilities(count);
+    std::vector<int> predictions(count);
+    net.MarginBatch(features, rows, margins.data());
+    net.ProbaBatch(features, rows, probabilities.data());
+    net.PredictBatch(features, rows, predictions.data());
+    for (size_t i = 0; i < count; ++i) {
+      const float* x = features.Row(rows[i]);
+      EXPECT_EQ(margins[i], net.Margin(x)) << "chunk edge " << count;
+      EXPECT_EQ(probabilities[i], net.PredictProbability(x));
+      EXPECT_EQ(predictions[i], net.Predict(x));
+    }
+  }
+}
+
+TEST(MlBatchTest, NeuralNetBatchNormPathBitwise) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 4, 4, &features, &labels);
+  for (const bool use_batch_norm : {false, true}) {
+    NeuralNetConfig config;
+    config.epochs = 10;
+    config.use_batch_norm = use_batch_norm;
+    NeuralNetwork net(config);
+    net.Fit(features, labels);
+    const std::vector<size_t> rows = AllRows(features.rows());
+    std::vector<double> batch(rows.size());
+    net.MarginBatch(features, rows, batch.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(batch[i], net.Margin(features.Row(rows[i])))
+          << "batch_norm=" << use_batch_norm << " row " << i;
+    }
+  }
+}
+
+// ---- Decision tree flattening ----
+
+TEST(MlBatchTest, FlatTreeEqualsPointerTree) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(400, 5, 5, &features, &labels);
+  DecisionTree tree(DecisionTreeConfig{});
+  tree.Fit(features, labels);
+
+  std::vector<FlatNode> nodes;
+  const int32_t root = tree.FlattenInto(&nodes);
+  EXPECT_EQ(nodes.size(), tree.num_nodes());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    EXPECT_EQ(FlatPredict(nodes.data(), root, features.Row(i)),
+              tree.Predict(features.Row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(MlBatchTest, FlatForestSharesOneNodeArray) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 5, 6, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 5;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+
+  const std::vector<size_t> rows = AllRows(features.rows());
+  std::vector<int> votes(rows.size());
+  std::vector<double> fractions(rows.size());
+  std::vector<int> predictions(rows.size());
+  forest.VotesBatch(features, rows, votes.data());
+  forest.PositiveFractionBatch(features, rows, fractions.data());
+  forest.PredictBatch(features, rows, predictions.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* x = features.Row(rows[i]);
+    EXPECT_EQ(fractions[i], forest.PositiveFraction(x)) << "row " << i;
+    EXPECT_EQ(predictions[i], forest.Predict(x)) << "row " << i;
+    EXPECT_EQ(static_cast<double>(votes[i]) / config.num_trees, fractions[i]);
+  }
+}
+
+// ---- Core Learner fan-out: bitwise at 1 and 4 threads ----
+
+class MlBatchThreadsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { parallel::SetNumThreads(1); }
+};
+
+TEST_F(MlBatchThreadsTest, LearnerBatchBitwiseAtOneAndFourThreads) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(600, 6, 7, &features, &labels);
+
+  SvmLearner svm;
+  NeuralNetConfig nn_config;
+  nn_config.epochs = 10;
+  NeuralNetLearner net(nn_config);
+  RandomForestConfig forest_config;
+  forest_config.num_trees = 5;
+  ForestLearner forest(forest_config);
+  parallel::SetNumThreads(1);
+  svm.Fit(features, labels);
+  net.Fit(features, labels);
+  forest.Fit(features, labels);
+
+  const std::vector<size_t> rows = AllRows(features.rows());
+  for (const Learner* learner :
+       {static_cast<const Learner*>(&svm), static_cast<const Learner*>(&net),
+        static_cast<const Learner*>(&forest)}) {
+    // Scalar reference, serial.
+    std::vector<int> scalar(rows.size());
+    std::vector<double> scalar_proba(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      scalar[i] = learner->Predict(features.Row(rows[i]));
+    }
+
+    for (const int threads : {1, 4}) {
+      parallel::SetNumThreads(threads);
+      std::vector<int> batch(rows.size());
+      std::vector<double> proba(rows.size());
+      learner->PredictBatch(features, rows, batch.data());
+      learner->ProbaBatch(features, rows, proba.data());
+      EXPECT_EQ(batch, scalar) << learner->name() << " threads=" << threads;
+      EXPECT_EQ(learner->PredictAll(features), scalar)
+          << learner->name() << " threads=" << threads;
+      if (threads == 1) {
+        scalar_proba = proba;
+      } else {
+        EXPECT_EQ(proba, scalar_proba)
+            << learner->name() << " proba threads=" << threads;
+      }
+    }
+    parallel::SetNumThreads(1);
+  }
+}
+
+TEST_F(MlBatchThreadsTest, MarginBatchBitwiseAtOneAndFourThreads) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(600, 6, 8, &features, &labels);
+  SvmLearner svm;
+  parallel::SetNumThreads(1);
+  svm.Fit(features, labels);
+
+  const std::vector<size_t> rows = AllRows(features.rows());
+  std::vector<double> scalar(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    scalar[i] = svm.Margin(features.Row(rows[i]));
+  }
+  for (const int threads : {1, 4}) {
+    parallel::SetNumThreads(threads);
+    std::vector<double> batch(rows.size());
+    svm.MarginBatch(features, rows, batch.data());
+    EXPECT_EQ(batch, scalar) << "threads=" << threads;
+  }
+}
+
+TEST_F(MlBatchThreadsTest, ForestProbaBatchIsPositiveFraction) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(300, 5, 9, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 7;
+  ForestLearner forest(config);
+  parallel::SetNumThreads(1);
+  forest.Fit(features, labels);
+
+  const std::vector<size_t> rows = AllRows(features.rows());
+  for (const int threads : {1, 4}) {
+    parallel::SetNumThreads(threads);
+    std::vector<double> proba(rows.size());
+    forest.ProbaBatch(features, rows, proba.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(proba[i], forest.PositiveFraction(features.Row(rows[i])))
+          << "threads=" << threads << " row " << i;
+    }
+  }
+}
+
+TEST(MlBatchTest, EmptyRowSetIsANoOp) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(50, 4, 10, &features, &labels);
+  SvmLearner svm;
+  svm.Fit(features, labels);
+  const std::vector<size_t> rows;
+  svm.PredictBatch(features, rows, nullptr);
+  svm.ProbaBatch(features, rows, nullptr);
+  svm.MarginBatch(features, rows, nullptr);
+}
+
+TEST(MlBatchTest, SerializedForestKeepsBatchPath) {
+  FeatureMatrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, 5, 11, &features, &labels);
+  RandomForestConfig config;
+  config.num_trees = 3;
+  RandomForest forest(config);
+  forest.Fit(features, labels);
+
+  RandomForest restored;
+  ASSERT_TRUE(DeserializeForest(SerializeForest(forest), &restored));
+  const std::vector<size_t> rows = AllRows(features.rows());
+  std::vector<double> original(rows.size());
+  std::vector<double> roundtrip(rows.size());
+  forest.PositiveFractionBatch(features, rows, original.data());
+  restored.PositiveFractionBatch(features, rows, roundtrip.data());
+  EXPECT_EQ(original, roundtrip);
+}
+
+}  // namespace
+}  // namespace alem

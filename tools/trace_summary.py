@@ -13,9 +13,12 @@ Modes:
       Validate the artifacts: the trace must be well-formed Chrome
       trace-event JSON whose every iteration contains train / evaluate /
       select / label spans, whose every parallel.chunk span nests (in
-      time) inside a matching <region>.parallel span, and the metrics
-      CSV must report nonzero selector.scored_examples and
-      oracle.queries. Exits nonzero on any violation (used by ctest).
+      time) inside a matching <region>.parallel span, whose every
+      ml.batch.parallel span (the batch inference engine's fan-out)
+      nests inside one of the pipeline phases that gather rows for it,
+      and the metrics CSV must report nonzero selector.scored_examples
+      and oracle.queries. Exits nonzero on any violation (used by
+      ctest).
   trace_summary.py --check --report RUN.report.json
       Validate a RunReport flight-recorder artifact (schema described in
       docs/observability.md): required fields, a coherent learning curve
@@ -41,6 +44,13 @@ REQUIRED_PHASE_SPANS = ("loop.train", "loop.evaluate", "loop.select",
                         "loop.label")
 # Metrics that a real run can never legitimately leave at zero.
 REQUIRED_NONZERO_COUNTERS = ("selector.scored_examples", "oracle.queries")
+# Every ml.batch fan-out is issued by a pipeline phase that gathered the
+# rows first, so its aggregate span must sit inside one of these spans on
+# the submitting thread (selectors score, the evaluator sweeps the eval
+# split, the ensemble's precision gate trains and its coverage scan runs
+# under its own span).
+ML_BATCH_PARENT_SPANS = ("selector.scoring", "loop.train", "loop.evaluate",
+                         "ensemble.coverage")
 
 
 def load_trace(path):
@@ -151,6 +161,7 @@ def check(trace_path, metrics_path):
             break
 
     failures.extend(check_parallel_nesting(events))
+    failures.extend(check_ml_batch_nesting(events))
 
     if metrics_path is None:
         failures.append("--check requires --metrics")
@@ -207,6 +218,39 @@ def check_parallel_nesting(events):
         if count == 0:
             failures.append(f"{region}.parallel spans exist but no "
                             "parallel.chunk spans name that region")
+    return failures
+
+
+def check_ml_batch_nesting(events):
+    """Validates batch-inference span placement; returns failure strings.
+
+    Every ml.batch.parallel span (the aggregate span `ParallelFor` emits
+    on the submitting thread when the batch inference engine fans out
+    with threads > 1) must nest, on the same thread, inside one of the
+    ML_BATCH_PARENT_SPANS phase spans: no consumer may call a batch
+    scoring API outside the phase that owns its row gathering. Serial
+    traces (--threads=1) contain no ml.batch.parallel spans, which is
+    valid.
+    """
+    failures = []
+    parent_windows = {}  # tid -> [(start, end)] of allowed parent spans.
+    for event in events:
+        if event["name"] in ML_BATCH_PARENT_SPANS:
+            parent_windows.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"]))
+    for event in events:
+        if event["name"] != "ml.batch.parallel":
+            continue
+        windows = parent_windows.get(event["tid"], [])
+        inside = any(start - 1e-3 <= event["ts"] and
+                     event["ts"] + event["dur"] <= end + 1e-3
+                     for start, end in windows)
+        if not inside:
+            failures.append(
+                f"ml.batch.parallel span at ts={event['ts']} is not nested "
+                "in any of " + "/".join(ML_BATCH_PARENT_SPANS) +
+                " on its thread")
+            break
     return failures
 
 
