@@ -43,13 +43,16 @@ int main() {
     const RunResult trees_run = b::Run(data, TreesSpec(20), max_labels);
     const RunResult rules_run = b::Run(data, RulesLfpLfnSpec(), max_labels);
 
-    b::PrintSeriesTable(
-        panel.profile.name + " (seconds)",
-        {b::CurveWaitSeconds(nn_run.approach_name, nn_run.curve),
-         b::CurveWaitSeconds(linear_run.approach_name, linear_run.curve),
-         b::CurveWaitSeconds("Trees(20)", trees_run.curve),
-         b::CurveWaitSeconds("Rules", rules_run.curve)},
-        5);
+    const std::vector<b::Series> waits = {
+        b::CurveWaitSeconds(nn_run.approach_name, nn_run.curve),
+        b::CurveWaitSeconds(linear_run.approach_name, linear_run.curve),
+        b::CurveWaitSeconds("Trees(20)", trees_run.curve),
+        b::CurveWaitSeconds("Rules", rules_run.curve)};
+    b::PrintSeriesTable(panel.profile.name + " (seconds)", waits, 5);
+    // Tail view: the paper plots per-iteration waits, but a deployment
+    // cares about the worst iterations a labeler sits through.
+    b::PrintSeriesPercentiles(
+        panel.profile.name + " wait percentiles (seconds)", waits, 5);
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +47,7 @@ void ExportArtifactsAtExit() {
   report.tool = ReportArtifactName();
   report.scale = ScaleFromEnv();
   report.threads = parallel::NumThreads();
+  parallel::StampPoolProfile(&report);  // Before the gauge snapshot below.
   obs::StampObservability(&report);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -264,6 +266,39 @@ void PrintSeriesTable(const std::string& title,
       }
     }
     std::printf("\n");
+  }
+}
+
+void PrintSeriesPercentiles(const std::string& title,
+                            const std::vector<Series>& series,
+                            int value_digits) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  std::printf("%-24s %10s %10s %10s %10s\n", "series", "mean", "p50", "p95",
+              "p99");
+  for (const Series& s : series) {
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    double sum = 0.0;
+    for (const auto& [x, y] : s.points) {
+      (void)x;
+      values.push_back(y);
+      sum += y;
+    }
+    if (values.empty()) continue;
+    std::sort(values.begin(), values.end());
+    // Nearest-rank percentile: smallest value with at least q*n values at
+    // or below it.
+    const auto percentile = [&values](double q) {
+      const size_t n = values.size();
+      size_t rank = static_cast<size_t>(
+          std::ceil(q * static_cast<double>(n)));
+      if (rank == 0) rank = 1;
+      return values[std::min(rank, n) - 1];
+    };
+    std::printf("%-24s %10.*f %10.*f %10.*f %10.*f\n", s.name.c_str(),
+                value_digits, sum / static_cast<double>(values.size()),
+                value_digits, percentile(0.50), value_digits,
+                percentile(0.95), value_digits, percentile(0.99));
   }
 }
 

@@ -81,6 +81,14 @@ Series CurveTreeDepth(const std::string& name,
 void PrintSeriesTable(const std::string& title,
                       const std::vector<Series>& series, int value_digits = 3);
 
+// Prints a mean / p50 / p95 / p99 summary row per series over the y values
+// (nearest-rank percentiles on a sorted copy) — the tail view next to the
+// per-iteration tables, since means hide exactly the latency spikes the
+// user-wait figures are about.
+void PrintSeriesPercentiles(const std::string& title,
+                            const std::vector<Series>& series,
+                            int value_digits = 3);
+
 // Convenience: run one approach on a prepared dataset with common settings.
 RunResult Run(const PreparedDataset& data, const ApproachSpec& spec,
               size_t max_labels, double noise = 0.0, bool holdout = false,

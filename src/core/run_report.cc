@@ -55,6 +55,9 @@ obs::RunReport BuildRunReport(const PreparedDataset& data,
   report.total_wait_seconds = result.total_wait_seconds;
   report.ensemble_accepted = result.ensemble_accepted;
 
+  // Pool profile first so its parallel.* gauges land in the observability
+  // snapshot below.
+  parallel::StampPoolProfile(&report);
   obs::StampObservability(&report);
   report.wall_seconds = wall_seconds;
   return report;

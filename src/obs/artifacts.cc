@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 
 namespace alem {
 namespace obs {
@@ -39,6 +40,11 @@ ArtifactOptions ArtifactOptionsFromEnv(const std::string& artifact) {
                                         ".metrics.csv");
   options.report_path = PathFromDirEnv("ALEM_REPORT_DIR", artifact,
                                        ".report.json");
+  const char* hz = std::getenv("ALEM_TELEMETRY_HZ");
+  if (hz != nullptr && *hz != '\0') {
+    const double parsed = std::atof(hz);
+    if (parsed > 0.0) options.telemetry_hz = parsed;
+  }
   // cache_dir stays empty: FeatureCache::ResolveDir reads ALEM_CACHE_DIR.
   return options;
 }
@@ -62,15 +68,22 @@ ArtifactOptions ArtifactOptionsFromFlags(const FlagParser& flags,
     options.cache_dir = flags.GetString("cache-dir", "");
   }
   options.use_cache = !flags.GetBool("no-cache", false);
+  if (flags.Has("telemetry-hz")) {
+    options.telemetry_hz = flags.GetDouble("telemetry-hz", 0.0);
+  }
   return options;
 }
 
 void ArtifactOptions::EnableObservability() const {
   if (tracing_wanted()) SetTracingEnabled(true);
   if (metrics_wanted()) SetMetricsEnabled(true);
+  if (telemetry_hz > 0.0) TelemetrySampler::Global().Start(telemetry_hz);
 }
 
 int ArtifactOptions::ExportTraceAndMetrics() const {
+  // Freeze the counter series before snapshotting any artifact (no-op when
+  // the sampler never started).
+  TelemetrySampler::Global().Stop();
   int status = 0;
   if (!trace_path.empty()) {
     if (TraceRecorder::Global().WriteChromeTrace(trace_path)) {

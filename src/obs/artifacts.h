@@ -38,24 +38,32 @@ struct ArtifactOptions {
   std::string cache_dir;  // explicit override; "" defers to ALEM_CACHE_DIR
   bool use_cache = true;  // false (--no-cache) disables the cache outright
 
+  // Sampling rate for the background telemetry sampler (obs/telemetry.h);
+  // <= 0 keeps it off. --telemetry-hz flag > ALEM_TELEMETRY_HZ env > off.
+  // A positive rate implies tracing + metrics (the samples are trace
+  // counter events reading the metric registry).
+  double telemetry_hz = 0.0;
+
   // The report needs spans (self-time rollup) and counters, so it implies
   // both subsystems; a metrics CSV alone only needs the metric registry.
   bool tracing_wanted() const {
     return !trace_path.empty() || !trace_jsonl_path.empty() ||
-           !report_path.empty();
+           !report_path.empty() || telemetry_hz > 0.0;
   }
   bool metrics_wanted() const {
     return tracing_wanted() || !metrics_path.empty();
   }
 
-  // Switches the tracing / metrics subsystems on as implied by the paths.
-  // Must run before PrepareDataset so preprocessing spans are captured.
+  // Switches the tracing / metrics subsystems on as implied by the paths
+  // and starts the telemetry sampler when telemetry_hz > 0. Must run
+  // before PrepareDataset so preprocessing spans are captured.
   void EnableObservability() const;
 
-  // Writes the trace / JSONL / metrics artifacts from the global registries,
-  // printing one line per file. Returns 0 on success, 1 if any write failed.
-  // The report is written by the caller (run- and bench-kind reports are
-  // assembled differently).
+  // Stops the telemetry sampler (if running), then writes the trace /
+  // JSONL / metrics artifacts from the global registries, printing one
+  // line per file. Returns 0 on success, 1 if any write failed. The report
+  // is written by the caller (run- and bench-kind reports are assembled
+  // differently).
   int ExportTraceAndMetrics() const;
 };
 

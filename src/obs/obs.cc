@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace alem {
@@ -100,6 +102,22 @@ void AppendChromeEvent(std::string* out, const SpanRecord& record) {
   out->append("}}");
 }
 
+// One sampled counter value as a Chrome trace-event "counter" ("C")
+// object; Perfetto plots consecutive samples of a name as a curve.
+void AppendChromeCounterEvent(std::string* out, const CounterRecord& record) {
+  char buf[64];
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(out, record.name);
+  out->append("\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":");
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(record.ts_ns) / 1e3);
+  out->append(buf);
+  out->append(",\"pid\":1,\"tid\":0,\"args\":{\"value\":");
+  std::snprintf(buf, sizeof(buf), "%.9g", record.value);
+  out->append(buf);
+  out->append("}}");
+}
+
 bool WriteStringToFile(const std::string& path, const std::string& content) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file.is_open()) return false;
@@ -152,7 +170,57 @@ uint64_t PeakRssBytes() {
   return 0;
 }
 
+uint64_t CurrentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::ifstream statm("/proc/self/statm");
+  uint64_t size_pages = 0;
+  uint64_t resident_pages = 0;
+  if (statm >> size_pages >> resident_pages) {
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page > 0) return resident_pages * static_cast<uint64_t>(page);
+  }
+#endif
+  return 0;
+}
+
 // ---- Histogram --------------------------------------------------------
+
+const std::vector<double>& LatencyBounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>();
+    // 1µs .. 100s, four log-spaced buckets per decade (33 finite bounds).
+    for (int k = 0; k <= 32; ++k) {
+      b->push_back(std::pow(10.0, -6.0 + static_cast<double>(k) / 4.0));
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket has no upper bound; clamp to the last finite one.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + (bounds[i] - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
@@ -206,17 +274,23 @@ std::string MetricsSnapshot::ToText() const {
     out.append(buf);
   }
   for (const auto& [name, histogram] : histograms) {
-    std::snprintf(buf, sizeof(buf), "%-32s count=%" PRIu64 " sum=%.6f\n",
-                  name.c_str(), histogram.count, histogram.sum);
+    std::snprintf(buf, sizeof(buf),
+                  "%-32s count=%" PRIu64 " sum=%.6f p50=%.6g p95=%.6g "
+                  "p99=%.6g\n",
+                  name.c_str(), histogram.count, histogram.sum,
+                  histogram.P50(), histogram.P95(), histogram.P99());
     out.append(buf);
+    // Cumulative counts ("le" semantics all the way up): the +Inf row
+    // always equals the total count.
+    uint64_t cumulative = 0;
     for (size_t i = 0; i < histogram.buckets.size(); ++i) {
-      const bool overflow = i >= histogram.bounds.size();
-      if (overflow) {
-        std::snprintf(buf, sizeof(buf), "  le=+inf %" PRIu64 "\n",
-                      histogram.buckets[i]);
+      cumulative += histogram.buckets[i];
+      if (i >= histogram.bounds.size()) {
+        std::snprintf(buf, sizeof(buf), "  le=+Inf %" PRIu64 "\n",
+                      cumulative);
       } else {
         std::snprintf(buf, sizeof(buf), "  le=%g %" PRIu64 "\n",
-                      histogram.bounds[i], histogram.buckets[i]);
+                      histogram.bounds[i], cumulative);
       }
       out.append(buf);
     }
@@ -244,14 +318,18 @@ std::string MetricsSnapshot::ToCsv() const {
     std::snprintf(buf, sizeof(buf), "histogram,%s,sum,%.9g\n", name.c_str(),
                   histogram.sum);
     out.append(buf);
+    // Rows are cumulative ("le" means at-or-below), and the overflow row is
+    // labeled +Inf explicitly, so a parser can treat every bucket row
+    // uniformly: the le=+Inf row equals the count row by construction.
+    uint64_t cumulative = 0;
     for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
       if (i >= histogram.bounds.size()) {
-        std::snprintf(buf, sizeof(buf), "histogram,%s,le=+inf,%" PRIu64 "\n",
-                      name.c_str(), histogram.buckets[i]);
+        std::snprintf(buf, sizeof(buf), "histogram,%s,le=+Inf,%" PRIu64 "\n",
+                      name.c_str(), cumulative);
       } else {
         std::snprintf(buf, sizeof(buf), "histogram,%s,le=%g,%" PRIu64 "\n",
-                      name.c_str(), histogram.bounds[i],
-                      histogram.buckets[i]);
+                      name.c_str(), histogram.bounds[i], cumulative);
       }
       out.append(buf);
     }
@@ -354,15 +432,43 @@ size_t TraceRecorder::size() const {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
+  counters_.clear();
+}
+
+void TraceRecorder::RecordCounter(std::string_view name, double value) {
+  if (!TracingEnabled()) return;
+  CounterRecord record;
+  record.name = std::string(name);
+  record.ts_ns = TraceNowNanos();
+  record.value = value;
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.push_back(std::move(record));
+}
+
+std::vector<CounterRecord> TraceRecorder::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+size_t TraceRecorder::counter_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size();
 }
 
 std::string TraceRecorder::ToChromeTraceJson() const {
   const std::vector<SpanRecord> records = Snapshot();
+  const std::vector<CounterRecord> counters = CounterSnapshot();
   std::string out = "{\"traceEvents\":[";
-  for (size_t i = 0; i < records.size(); ++i) {
-    if (i > 0) out.push_back(',');
+  size_t emitted = 0;
+  for (const SpanRecord& record : records) {
+    if (emitted++ > 0) out.push_back(',');
     out.push_back('\n');
-    AppendChromeEvent(&out, records[i]);
+    AppendChromeEvent(&out, record);
+  }
+  for (const CounterRecord& record : counters) {
+    if (emitted++ > 0) out.push_back(',');
+    out.push_back('\n');
+    AppendChromeCounterEvent(&out, record);
   }
   out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
   return out;
@@ -425,6 +531,14 @@ double ObsSpan::Close() {
       record.start_ns = start_ns_;
       record.duration_ns = duration_ns_;
       TraceRecorder::Global().Record(std::move(record));
+    }
+    if (MetricsEnabled()) {
+      // Every named region gets a tail-latency histogram for free; the
+      // registry returns a stable reference, so repeated closes of the
+      // same region name share one histogram.
+      MetricsRegistry::Global()
+          .GetHistogram("lat." + name_, LatencyBounds())
+          .Observe(static_cast<double>(duration_ns_) / 1e9);
     }
   }
   return static_cast<double>(duration_ns_) / 1e9;

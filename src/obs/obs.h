@@ -110,13 +110,22 @@ class Gauge {
 };
 
 struct HistogramSnapshot {
-  // Upper bounds of the finite buckets; an implicit +inf bucket follows.
+  // Upper bounds of the finite buckets; an implicit +Inf bucket follows.
   std::vector<double> bounds;
   // bucket[i] counts observations v with v <= bounds[i] (and > bounds[i-1]);
   // bucket[bounds.size()] is the overflow bucket.
   std::vector<uint64_t> buckets;
   uint64_t count = 0;
   double sum = 0.0;
+
+  // Prometheus-style quantile estimate: linear interpolation inside the
+  // bucket holding rank q*count (first bucket interpolates from 0).
+  // Returns 0 for an empty histogram; observations in the overflow bucket
+  // clamp to the last finite bound. q is clamped to [0, 1].
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
 };
 
 // Fixed-bucket histogram. Bounds are sorted upper bounds ("le" semantics);
@@ -175,6 +184,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+// Shared bucket layout for the per-region `lat.<name>` span-latency
+// histograms: log-spaced upper bounds from 1µs to 100s, four buckets per
+// decade, so p50/p95/p99 estimates stay within ~30% of the true value at
+// any magnitude a pipeline stage can plausibly take.
+const std::vector<double>& LatencyBounds();
+
 // ---- Tracing ----------------------------------------------------------
 
 struct SpanRecord {
@@ -191,6 +206,15 @@ struct SpanRecord {
   uint64_t duration_ns = 0;
 };
 
+// One sampled value of a time-series counter (the telemetry sampler's
+// output): exported as a Chrome trace-event counter ("C" phase) so
+// Perfetto renders the series as a resource curve over the run.
+struct CounterRecord {
+  std::string name;
+  uint64_t ts_ns = 0;  // Nanoseconds relative to the trace epoch.
+  double value = 0.0;
+};
+
 // Global lock-protected span sink.
 class TraceRecorder {
  public:
@@ -198,11 +222,17 @@ class TraceRecorder {
 
   void Record(SpanRecord record);
   std::vector<SpanRecord> Snapshot() const;
-  size_t size() const;
-  void Clear();
+  size_t size() const;  // Span records only (counter samples not included).
+  void Clear();         // Drops spans and counter samples.
 
-  // {"traceEvents":[...]} with "X" (complete) events, ts/dur in
-  // microseconds — loadable by chrome://tracing and Perfetto.
+  // Appends one counter sample; no-op while tracing is disabled.
+  void RecordCounter(std::string_view name, double value);
+  std::vector<CounterRecord> CounterSnapshot() const;
+  size_t counter_size() const;
+
+  // {"traceEvents":[...]} with "X" (complete) span events plus "C"
+  // (counter) events for sampled series, ts/dur in microseconds —
+  // loadable by chrome://tracing and Perfetto.
   std::string ToChromeTraceJson() const;
   // One JSON object per line: name, cat, detail, tid, depth, start_us,
   // dur_us.
@@ -216,12 +246,16 @@ class TraceRecorder {
 
   mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
+  std::vector<CounterRecord> counters_;
 };
 
 // RAII trace span. Construction starts the clock; Close() (or destruction)
 // stops it and, while tracing is enabled, records the span globally.
 // Close() returns the elapsed seconds so latency statistics are *derived
-// from the span* instead of being measured twice.
+// from the span* instead of being measured twice. While metrics are
+// enabled, Close() additionally observes the duration into the
+// "lat.<name>" histogram (LatencyBounds() buckets), giving every named
+// region p50/p95/p99 tail-latency percentiles for free.
 class ObsSpan {
  public:
   explicit ObsSpan(std::string_view name, std::string_view category = "",
@@ -256,6 +290,11 @@ uint64_t TraceNowNanos();
 // when neither source is available. Stamped into every RunReport and
 // published as the `process.peak_rss_bytes` gauge (obs/report.h).
 uint64_t PeakRssBytes();
+
+// Current resident set size in bytes (Linux /proc/self/statm); 0 when
+// unavailable. Sampled by the telemetry sampler (obs/telemetry.h) to plot
+// the memory curve over a run.
+uint64_t CurrentRssBytes();
 
 }  // namespace obs
 }  // namespace alem

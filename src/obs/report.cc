@@ -102,6 +102,24 @@ void StampObservability(RunReport* report) {
   report->counters = snapshot.counters;
   report->gauges = snapshot.gauges;
   report->spans = SelfTimeRollup(TraceRecorder::Global().Snapshot());
+  // Per-region tail latency from the auto-observed lat.<region> histograms
+  // (map iteration keeps the entries sorted by region name).
+  report->latency.clear();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    constexpr std::string_view kPrefix = "lat.";
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        histogram.count == 0) {
+      continue;
+    }
+    LatencyEntry entry;
+    entry.name = name.substr(kPrefix.size());
+    entry.count = histogram.count;
+    entry.sum_seconds = histogram.sum;
+    entry.p50_seconds = histogram.P50();
+    entry.p95_seconds = histogram.P95();
+    entry.p99_seconds = histogram.P99();
+    report->latency.push_back(std::move(entry));
+  }
 }
 
 // ---- Serialization ----------------------------------------------------
@@ -221,7 +239,29 @@ std::string ReportToJson(const RunReport& report) {
     out.append(": ");
     AppendJsonDouble(&out, report.gauges[i].second);
   }
-  out.append("},\n  \"spans\": [\n");
+  out.append("}");
+  if (!report.latency.empty()) {
+    out.append(",\n  \"latency\": [\n");
+    for (size_t i = 0; i < report.latency.size(); ++i) {
+      const LatencyEntry& entry = report.latency[i];
+      if (i > 0) out.append(",\n");
+      out.append("    {\"name\": ");
+      AppendJsonString(&out, entry.name);
+      out.append(", \"count\": ");
+      AppendJsonUint(&out, entry.count);
+      out.append(", \"sum_seconds\": ");
+      AppendJsonDouble(&out, entry.sum_seconds);
+      out.append(", \"p50_seconds\": ");
+      AppendJsonDouble(&out, entry.p50_seconds);
+      out.append(", \"p95_seconds\": ");
+      AppendJsonDouble(&out, entry.p95_seconds);
+      out.append(", \"p99_seconds\": ");
+      AppendJsonDouble(&out, entry.p99_seconds);
+      out.append("}");
+    }
+    out.append("\n  ]");
+  }
+  out.append(",\n  \"spans\": [\n");
   for (size_t i = 0; i < report.spans.size(); ++i) {
     const SpanRollupEntry& entry = report.spans[i];
     if (i > 0) out.append(",\n");
@@ -235,7 +275,44 @@ std::string ReportToJson(const RunReport& report) {
     AppendJsonDouble(&out, entry.self_seconds);
     out.append("}");
   }
-  out.append("\n  ],\n  \"process\": {\"wall_seconds\": ");
+  out.append("\n  ]");
+  if (report.has_pool) {
+    out.append(",\n  \"pool\": {\"workers\": ");
+    out.append(std::to_string(report.pool.workers));
+    out.append(", \"busy_seconds\": ");
+    AppendJsonDouble(&out, report.pool.busy_seconds);
+    out.append(", \"idle_seconds\": ");
+    AppendJsonDouble(&out, report.pool.idle_seconds);
+    out.append(", \"queue_wait_seconds\": ");
+    AppendJsonDouble(&out, report.pool.queue_wait_seconds);
+    out.append(", \"worker_wall_seconds\": ");
+    AppendJsonDouble(&out, report.pool.worker_wall_seconds);
+    out.append(", \"utilization\": ");
+    AppendJsonDouble(&out, report.pool.utilization);
+    out.append(", \"regions\": [");
+    for (size_t i = 0; i < report.pool.regions.size(); ++i) {
+      const PoolRegionStats& region = report.pool.regions[i];
+      if (i > 0) out.append(",");
+      out.append("\n    {\"name\": ");
+      AppendJsonString(&out, region.name);
+      out.append(", \"runs\": ");
+      AppendJsonUint(&out, region.runs);
+      out.append(", \"chunks\": ");
+      AppendJsonUint(&out, region.chunks);
+      out.append(", \"min_chunk_seconds\": ");
+      AppendJsonDouble(&out, region.min_chunk_seconds);
+      out.append(", \"max_chunk_seconds\": ");
+      AppendJsonDouble(&out, region.max_chunk_seconds);
+      out.append(", \"mean_chunk_seconds\": ");
+      AppendJsonDouble(&out, region.mean_chunk_seconds);
+      out.append(", \"utilization\": ");
+      AppendJsonDouble(&out, region.utilization);
+      out.append("}");
+    }
+    if (!report.pool.regions.empty()) out.append("\n  ");
+    out.append("]}");
+  }
+  out.append(",\n  \"process\": {\"wall_seconds\": ");
   AppendJsonDouble(&out, report.wall_seconds);
   out.append(", \"peak_rss_bytes\": ");
   AppendJsonUint(&out, report.peak_rss_bytes);
@@ -398,6 +475,49 @@ bool ParseReportJson(std::string_view text, RunReport* report,
       parsed.spans.push_back(std::move(entry));
     }
   }
+  // Optional sections (pre-telemetry reports stay loadable).
+  const JsonValue* latency = top.Get("latency", /*required=*/false);
+  if (latency != nullptr && latency->is_array()) {
+    for (const JsonValue& element : latency->array()) {
+      if (!element.is_object()) continue;
+      FieldReader lat{element, &missing, "latency[]."};
+      LatencyEntry entry;
+      entry.name = lat.String("name");
+      entry.count = lat.Uint("count");
+      entry.sum_seconds = lat.Number("sum_seconds");
+      entry.p50_seconds = lat.Number("p50_seconds");
+      entry.p95_seconds = lat.Number("p95_seconds");
+      entry.p99_seconds = lat.Number("p99_seconds");
+      parsed.latency.push_back(std::move(entry));
+    }
+  }
+  const JsonValue* pool = top.Get("pool", /*required=*/false);
+  if (pool != nullptr && pool->is_object()) {
+    parsed.has_pool = true;
+    FieldReader p{*pool, &missing, "pool."};
+    parsed.pool.workers = static_cast<int>(p.Number("workers"));
+    parsed.pool.busy_seconds = p.Number("busy_seconds");
+    parsed.pool.idle_seconds = p.Number("idle_seconds");
+    parsed.pool.queue_wait_seconds = p.Number("queue_wait_seconds");
+    parsed.pool.worker_wall_seconds = p.Number("worker_wall_seconds");
+    parsed.pool.utilization = p.Number("utilization");
+    const JsonValue* regions = p.Get("regions", true);
+    if (regions != nullptr && regions->is_array()) {
+      for (const JsonValue& element : regions->array()) {
+        if (!element.is_object()) continue;
+        FieldReader reg{element, &missing, "pool.regions[]."};
+        PoolRegionStats region;
+        region.name = reg.String("name");
+        region.runs = reg.Uint("runs");
+        region.chunks = reg.Uint("chunks");
+        region.min_chunk_seconds = reg.Number("min_chunk_seconds");
+        region.max_chunk_seconds = reg.Number("max_chunk_seconds");
+        region.mean_chunk_seconds = reg.Number("mean_chunk_seconds");
+        region.utilization = reg.Number("utilization");
+        parsed.pool.regions.push_back(std::move(region));
+      }
+    }
+  }
   const JsonValue* process = top.Get("process", true);
   if (process != nullptr && process->is_object()) {
     FieldReader proc{*process, &missing, "process."};
@@ -534,6 +654,24 @@ std::vector<std::string> CheckReports(const RunReport& baseline,
                  &failures);
     CheckLatency("wall_seconds", baseline.wall_seconds,
                  candidate.wall_seconds, options.latency_tol, &failures);
+  }
+
+  if (options.latency_p95_tol >= 0.0) {
+    // Gate only regions present on both sides: thread-count changes add or
+    // remove parallel regions structurally, and a missing region is not a
+    // latency regression.
+    for (const LatencyEntry& base : baseline.latency) {
+      const LatencyEntry* cand = nullptr;
+      for (const LatencyEntry& entry : candidate.latency) {
+        if (entry.name == base.name) {
+          cand = &entry;
+          break;
+        }
+      }
+      if (cand == nullptr) continue;
+      CheckLatency(("p95." + base.name).c_str(), base.p95_seconds,
+                   cand->p95_seconds, options.latency_p95_tol, &failures);
+    }
   }
 
   if (options.counter_tol >= 0.0) {

@@ -32,9 +32,20 @@
 //                  total_wait_seconds, ensemble_accepted },
 //     "counters": { name: value, ... },
 //     "gauges":   { name: value, ... },
+//     "latency": [ { name, count, sum_seconds, p50_seconds, p95_seconds,
+//                    p99_seconds }, ... ],
 //     "spans":   [ { name, count, total_seconds, self_seconds }, ... ],
+//     "pool":    { workers, busy_seconds, idle_seconds, queue_wait_seconds,
+//                  worker_wall_seconds, utilization,
+//                  regions: [ { name, runs, chunks, min_chunk_seconds,
+//                               max_chunk_seconds, mean_chunk_seconds,
+//                               utilization }, ... ] },
 //     "process": { wall_seconds, peak_rss_bytes } }
 // "curve"/"summary" are required for kind "run", optional for "bench".
+// "latency" (per-region tail percentiles from the lat.* histograms) and
+// "pool" (thread-pool utilization; only present when the pool engaged, so
+// threads=1 reports are unchanged) are optional on parse like
+// config.cache, keeping schema v1 backward compatible.
 // Doubles are written with %.17g so a parse-back is bit-identical — the
 // determinism gate (--exact-curve) depends on this.
 
@@ -86,6 +97,39 @@ struct SpanRollupEntry {
   double self_seconds = 0.0;
 };
 
+// Tail-latency percentiles of one span region, estimated from its
+// "lat.<name>" histogram (`name` here is the region without the prefix).
+struct LatencyEntry {
+  std::string name;
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+// Chunk-imbalance stats for one ParallelFor region (parallel/pool.h).
+struct PoolRegionStats {
+  std::string name;
+  uint64_t runs = 0;
+  uint64_t chunks = 0;
+  double min_chunk_seconds = 0.0;
+  double max_chunk_seconds = 0.0;
+  double mean_chunk_seconds = 0.0;
+  double utilization = 0.0;  // busy / (workers × region wall)
+};
+
+// Thread-pool utilization totals; busy + idle + queue_wait ≈ worker_wall.
+struct PoolStats {
+  int workers = 0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  double worker_wall_seconds = 0.0;
+  double utilization = 0.0;  // busy / worker_wall
+  std::vector<PoolRegionStats> regions;
+};
+
 struct RunReport {
   int schema_version = kReportSchemaVersion;
   std::string kind = "run";  // "run" or "bench"
@@ -121,6 +165,11 @@ struct RunReport {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<SpanRollupEntry> spans;
+  // Per-region tail latency, sorted by name (empty = section absent).
+  std::vector<LatencyEntry> latency;
+  // Thread-pool utilization; only serialized when has_pool (pool engaged).
+  bool has_pool = false;
+  PoolStats pool;
 
   // process totals
   double wall_seconds = 0.0;
@@ -140,8 +189,10 @@ std::vector<SpanRollupEntry> SelfTimeRollup(
     const std::vector<SpanRecord>& records);
 
 // Fills the observability sections of a report from the global registries:
-// counter/gauge snapshot, span self-time rollup, and peak RSS (also
-// published as the `process.peak_rss_bytes` gauge).
+// counter/gauge snapshot, span self-time rollup, per-region latency
+// percentiles (from the lat.* histograms), and peak RSS (also published as
+// the `process.peak_rss_bytes` gauge). Call parallel::StampPoolProfile
+// first so its parallel.* gauges land in the same snapshot.
 void StampObservability(RunReport* report);
 
 std::string ReportToJson(const RunReport& report);
@@ -168,6 +219,11 @@ struct ReportCheckOptions {
   // When >= 0, every baseline counter must exist in the candidate with a
   // relative difference of at most counter_tol.
   double counter_tol = -1.0;
+  // When >= 0, every latency region present in BOTH reports must keep its
+  // candidate p95 within baseline * (1 + latency_p95_tol) + 10ms grace.
+  // Regions on only one side are skipped: thread-count changes add or
+  // remove parallel regions structurally. Off by default (wall-clock gate).
+  double latency_p95_tol = -1.0;
   // Require the curves to be bit-identical (lengths, labels_used, f1) —
   // the determinism contract across thread counts.
   bool exact_curve = false;

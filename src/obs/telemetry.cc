@@ -1,0 +1,105 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace alem {
+namespace obs {
+
+namespace {
+
+struct ProbeList {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, std::function<double()>>> probes;
+};
+
+ProbeList& Probes() {
+  static ProbeList* probes = new ProbeList();
+  return *probes;
+}
+
+}  // namespace
+
+void RegisterTelemetryProbe(std::string name, std::function<double()> probe) {
+  ProbeList& list = Probes();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  list.probes.emplace_back(std::move(name), std::move(probe));
+}
+
+TelemetrySampler& TelemetrySampler::Global() {
+  static TelemetrySampler* sampler = new TelemetrySampler();
+  return *sampler;
+}
+
+void TelemetrySampler::SampleOnce() {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.RecordCounter("telemetry.rss_mib",
+                         static_cast<double>(CurrentRssBytes()) /
+                             (1024.0 * 1024.0));
+  recorder.RecordCounter(
+      "telemetry.predict_calls",
+      static_cast<double>(
+          detail::g_predict_calls.load(std::memory_order_relaxed)));
+  // Cached references: GetCounter registers on first use and the returned
+  // reference stays valid for the process lifetime.
+  static Counter& cache_hits =
+      MetricsRegistry::Global().GetCounter("featurize.cache.hit");
+  static Counter& cache_misses =
+      MetricsRegistry::Global().GetCounter("featurize.cache.miss");
+  recorder.RecordCounter("telemetry.cache_hits",
+                         static_cast<double>(cache_hits.value()));
+  recorder.RecordCounter("telemetry.cache_misses",
+                         static_cast<double>(cache_misses.value()));
+
+  ProbeList& list = Probes();
+  std::lock_guard<std::mutex> lock(list.mutex);
+  for (const auto& [name, probe] : list.probes) {
+    recorder.RecordCounter(name, probe());
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetrySampler::Loop(double hz) {
+  const auto period = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(1.0 / hz));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    cv_.wait_for(lock, period, [&] { return stop_requested_; });
+  }
+}
+
+bool TelemetrySampler::Start(double hz) {
+  if (hz <= 0.0) return false;
+  hz = std::min(1000.0, std::max(0.1, hz));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_.load(std::memory_order_relaxed)) return false;
+  stop_requested_ = false;
+  samples_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, hz] { Loop(hz); });
+  return true;
+}
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // One final sample so the series extends to the end of the run even at
+  // low sampling rates.
+  SampleOnce();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace alem

@@ -1,0 +1,81 @@
+// Time-series telemetry sampler — the third observability pillar next to
+// spans (tracing) and scalar metrics: a background thread that samples
+// resource usage at a fixed rate and records each sample as a Chrome
+// trace-event counter ("C" phase), so Perfetto shows RSS, cache traffic,
+// predict-call throughput and pool occupancy as curves over the run
+// instead of a single end-of-run number.
+//
+// Built-in series (all prefixed "telemetry."):
+//   telemetry.rss_mib              current resident set (CurrentRssBytes)
+//   telemetry.predict_calls        cumulative ml.predict_calls
+//   telemetry.cache_hits           cumulative featurize.cache.hit
+//   telemetry.cache_misses        cumulative featurize.cache.miss
+//
+// Other subsystems can contribute series without obs depending on them:
+// RegisterTelemetryProbe registers a named callback sampled on every tick
+// (src/parallel/pool.cc registers telemetry.pool_active_workers this way,
+// keeping the obs -> parallel dependency direction clean).
+//
+// Off by default. alem_cli --telemetry-hz=HZ (or ALEM_TELEMETRY_HZ) starts
+// the sampler via ArtifactOptions::EnableObservability; sampling implies
+// tracing + metrics. The sampler only *reads* counters and appends trace
+// counter records — it never touches run state, so enabling it cannot
+// perturb results (the determinism gate still holds).
+
+#ifndef ALEM_OBS_TELEMETRY_H_
+#define ALEM_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace alem {
+namespace obs {
+
+// Registers a callback sampled once per telemetry tick under `name`.
+// Callbacks must be thread-safe (they run on the sampler thread) and fast;
+// registration is process-lifetime (probes are never unregistered). Safe to
+// call from static initializers.
+void RegisterTelemetryProbe(std::string name, std::function<double()> probe);
+
+// The background sampler. One global instance; Start/Stop are idempotent.
+class TelemetrySampler {
+ public:
+  static TelemetrySampler& Global();
+
+  // Starts sampling at `hz` (clamped to [0.1, 1000]); returns false (and
+  // does nothing) when hz <= 0 or the sampler is already running. Requires
+  // tracing to be enabled for the samples to be recorded.
+  bool Start(double hz);
+
+  // Takes one final sample, stops the thread and joins it. No-op when not
+  // running.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TelemetrySampler() = default;
+
+  void SampleOnce();
+  void Loop(double hz);
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> samples_{0};
+};
+
+}  // namespace obs
+}  // namespace alem
+
+#endif  // ALEM_OBS_TELEMETRY_H_

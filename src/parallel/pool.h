@@ -30,6 +30,15 @@
 // thread plus one "parallel.chunk" span (detail = region) on whichever
 // worker executed each chunk, so traces show the fan-out per thread (see
 // docs/parallelism.md).
+//
+// Utilization profiling: every pool worker keeps per-thread busy / idle /
+// queue-wait nanosecond totals (a handful of relaxed atomics per chunk),
+// and ParallelFor accumulates per-region chunk-duration imbalance stats
+// while metrics are enabled. SnapshotPoolProfile() folds both into a
+// PoolProfile; StampPoolProfile() writes it into a RunReport `pool`
+// section plus `parallel.*` gauges. The pure serial path (threads=1) never
+// creates a pool, so it carries zero accounting cost and reports stay
+// byte-identical to pre-profiler ones.
 
 #ifndef ALEM_PARALLEL_POOL_H_
 #define ALEM_PARALLEL_POOL_H_
@@ -41,11 +50,16 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 namespace alem {
+namespace obs {
+struct RunReport;
+}  // namespace obs
+
 namespace parallel {
 
 // Fixed-size pool of worker threads executing one fork-join job at a time.
@@ -74,6 +88,17 @@ class ThreadPool {
   // True on a thread owned by any ThreadPool.
   static bool OnWorkerThread();
 
+  // Per-pool busy / idle / queue-wait / wall totals in seconds, summed over
+  // the workers. Safe to call while the pool is idle (between fork-join
+  // regions); in-flight idle waits are extrapolated to "now".
+  struct Totals {
+    double busy_seconds = 0.0;
+    double idle_seconds = 0.0;
+    double queue_wait_seconds = 0.0;
+    double worker_wall_seconds = 0.0;
+  };
+  Totals SnapshotAccounts() const;
+
  private:
   // Heap-allocated per-job state, shared with the workers so a straggler
   // that wakes after Run() returned still sees a consistent (stale) job
@@ -88,8 +113,22 @@ class ThreadPool {
     size_t error_chunk = 0;
   };
 
-  void WorkerLoop();
-  void RunChunks(Job& job);
+  // Per-worker accounting slot. Cache-line aligned: the totals are bumped
+  // with relaxed atomics on every chunk, and false sharing between workers
+  // would show up as exactly the kind of overhead this profiler measures.
+  struct alignas(64) WorkerAccount {
+    std::atomic<uint64_t> busy_ns{0};        // Executing chunk bodies.
+    std::atomic<uint64_t> idle_ns{0};        // Blocked waiting for a job.
+    std::atomic<uint64_t> queue_ns{0};       // In a job but between chunks.
+    std::atomic<uint64_t> start_ns{0};       // Worker wall-clock start.
+    std::atomic<uint64_t> end_ns{0};         // Worker wall-clock end.
+    std::atomic<uint64_t> idle_since_ns{0};  // Nonzero while blocked.
+  };
+
+  void WorkerLoop(size_t worker);
+  // Executes chunks of `job` until none remain; returns the nanoseconds
+  // spent inside chunk bodies (also added to account.busy_ns).
+  uint64_t RunChunks(Job& job, WorkerAccount& account);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -97,6 +136,7 @@ class ThreadPool {
   std::shared_ptr<Job> job_;  // Non-null while a job is in flight.
   uint64_t generation_ = 0;
   bool shutdown_ = false;
+  std::unique_ptr<WorkerAccount[]> accounts_;  // One per worker.
   std::vector<std::thread> workers_;
 };
 
@@ -114,6 +154,57 @@ void SetNumThreads(int num_threads);
 
 // std::thread::hardware_concurrency(), never 0.
 int HardwareThreads();
+
+// ---- Pool utilization profile ------------------------------------------
+
+// Chunk-duration imbalance statistics for one named ParallelFor region,
+// accumulated across every pool execution of that region while metrics
+// were enabled.
+struct PoolRegionProfile {
+  std::string name;
+  uint64_t runs = 0;    // Pool-executed ParallelFor calls for this region.
+  uint64_t chunks = 0;  // Total chunks across those runs.
+  double min_chunk_seconds = 0.0;
+  double max_chunk_seconds = 0.0;
+  double mean_chunk_seconds = 0.0;
+  double busy_seconds = 0.0;  // Sum of all chunk durations.
+  double wall_seconds = 0.0;  // Sum of the region aggregate-span walls.
+  // busy / (workers × wall): 1.0 = every worker busy for the whole region.
+  double utilization = 0.0;
+};
+
+// Process-wide pool accounting: the live pool plus totals folded in from
+// pools destroyed by SetNumThreads. Satisfies busy + idle + queue_wait ≈
+// worker_wall (small accounting gaps at job handoff only).
+struct PoolProfile {
+  int workers = 0;  // Worker count of the live (or last) pool.
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  double worker_wall_seconds = 0.0;
+  double utilization = 0.0;  // busy / worker_wall, 0 when wall is 0.
+  std::vector<PoolRegionProfile> regions;  // Sorted by name.
+
+  // True once any pool worker has run; false on the pure serial path.
+  bool engaged() const { return worker_wall_seconds > 0.0; }
+};
+
+PoolProfile SnapshotPoolProfile();
+
+// Discards all accounting — folded totals, region stats, and the live pool
+// (lazily rebuilt on the next ParallelFor). Test isolation only; never
+// call while a ParallelFor is in flight.
+void ResetPoolProfile();
+
+// Number of pool workers executing a chunk body right now (telemetry's
+// pool-occupancy series).
+int ActiveWorkers();
+
+// Writes SnapshotPoolProfile() into the report's `pool` section and
+// publishes `parallel.*` gauges, but only when the pool actually engaged —
+// a threads=1 run keeps its report byte-identical. Call before
+// obs::StampObservability so the gauges land in the same report.
+void StampPoolProfile(obs::RunReport* report);
 
 // ---- Deterministic parallel-for ----------------------------------------
 

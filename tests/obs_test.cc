@@ -507,6 +507,130 @@ TEST_F(ObsTest, TextAndCsvDumpsContainEveryMetric) {
   EXPECT_GE(hist_rows, 5u);
 }
 
+// ---- Latency percentiles -----------------------------------------------
+
+TEST_F(ObsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.q_empty", {1.0, 2.0});
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 0.0);
+}
+
+TEST_F(ObsTest, QuantileOfSingleObservationStaysInItsBucket) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test.q_single", {1.0, 2.0, 4.0});
+  histogram.Observe(1.5);  // The (1, 2] bucket.
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    const double value = snapshot.Quantile(q);
+    EXPECT_GE(value, 1.0) << "q=" << q;
+    EXPECT_LE(value, 2.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 2.0);  // Bucket upper bound.
+}
+
+TEST_F(ObsTest, QuantileInterpolatesAtBucketBoundaries) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test.q_bounds", {1.0, 2.0, 4.0});
+  // "le" semantics: observations equal to a bound land in that bound's
+  // bucket, so all four sit in (1, 2].
+  for (int i = 0; i < 4; ++i) histogram.Observe(2.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 2.0);
+  const double p50 = snapshot.Quantile(0.5);
+  const double p95 = snapshot.Quantile(0.95);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p95, 2.0);
+  EXPECT_LE(p50, p95);  // Percentiles are monotone in q.
+}
+
+TEST_F(ObsTest, QuantileClampsOverflowBucketToLastBound) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test.q_overflow", {1.0, 2.0, 4.0});
+  histogram.Observe(100.0);  // Above every finite bound.
+  histogram.Observe(150.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  // The overflow bucket has no upper bound, so percentiles clamp to the
+  // last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.P99(), 4.0);
+}
+
+TEST_F(ObsTest, SpanCloseObservesLatencyHistogram) {
+  { ObsSpan span("auto.region", "test"); }
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (name != "lat.auto.region") continue;
+    found = true;
+    EXPECT_EQ(histogram.count, 1u);
+    EXPECT_GE(histogram.sum, 0.0);
+    EXPECT_EQ(histogram.bounds.size(), LatencyBounds().size());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, SpanCloseSkipsLatencyHistogramWhenMetricsDisabled) {
+  SetMetricsEnabled(false);
+  { ObsSpan span("ghost.region", "test"); }
+  SetMetricsEnabled(true);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    EXPECT_NE(name, "lat.ghost.region");
+  }
+}
+
+TEST_F(ObsTest, CsvHistogramRowsAreCumulativeWithInfinityLabel) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.cum", {1.0, 2.0});
+  histogram.Observe(0.5);  // <= 1
+  histogram.Observe(1.5);  // <= 2
+  histogram.Observe(9.0);  // Overflow.
+  const std::string csv = MetricsRegistry::Global().Snapshot().ToCsv();
+  // Bucket rows carry cumulative counts (le semantics), and the overflow
+  // row is labeled +Inf and equals the total count.
+  EXPECT_NE(csv.find("histogram,test.cum,count,3\n"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("histogram,test.cum,le=1,1\n"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("histogram,test.cum,le=2,2\n"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("histogram,test.cum,le=+Inf,3\n"), std::string::npos)
+      << csv;
+}
+
+// ---- Telemetry counter events -------------------------------------------
+
+TEST_F(ObsTest, CounterEventsExportAsChromeCounterPhase) {
+  TraceRecorder::Global().RecordCounter("telemetry.test_series", 42.5);
+  TraceRecorder::Global().RecordCounter("telemetry.test_series", 43.0);
+  EXPECT_EQ(TraceRecorder::Global().counter_size(), 2u);
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);  // Spans stay separate.
+
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& events = root.object.at("traceEvents");
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const JsonValue& event : events.array) {
+    EXPECT_EQ(event.object.at("ph").string, "C");
+    EXPECT_EQ(event.object.at("name").string, "telemetry.test_series");
+    EXPECT_GE(event.object.at("args").object.at("value").number, 42.0);
+  }
+
+  TraceRecorder::Global().Clear();
+  EXPECT_EQ(TraceRecorder::Global().counter_size(), 0u);
+}
+
+TEST_F(ObsTest, CounterEventsAreDroppedWhenTracingDisabled) {
+  SetTracingEnabled(false);
+  TraceRecorder::Global().RecordCounter("telemetry.off", 1.0);
+  EXPECT_EQ(TraceRecorder::Global().counter_size(), 0u);
+}
+
 TEST_F(ObsTest, HistogramBoundsFixedByFirstRegistration) {
   Histogram& first =
       MetricsRegistry::Global().GetHistogram("test.fixed", {1.0, 2.0});

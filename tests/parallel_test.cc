@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <set>
@@ -16,6 +17,8 @@
 #include <vector>
 
 #include "core/approaches.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "core/harness.h"
 #include "core/learner.h"
 #include "core/pool.h"
@@ -266,6 +269,100 @@ TEST_F(ParallelTest, MemberSeedsIndependentOfCommitteeSizeAndOrder) {
     distinct.insert(MemberSeeds(7, member).resample_seed);
   }
   EXPECT_EQ(distinct.size(), 64u);
+}
+
+// ---- Pool utilization accounting ---------------------------------------
+
+TEST_F(ParallelTest, SerialPathLeavesPoolProfileDisengaged) {
+  parallel::ResetPoolProfile();
+  parallel::SetNumThreads(1);
+  std::atomic<size_t> total{0};
+  parallel::ParallelFor(
+      0, 100, 10,
+      [&](size_t b, size_t e, size_t) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      },
+      "acct.serial");
+  EXPECT_EQ(total.load(), 100u);
+
+  // threads=1 never creates a pool, so the profile stays empty and
+  // StampPoolProfile must leave the report untouched.
+  const parallel::PoolProfile profile = parallel::SnapshotPoolProfile();
+  EXPECT_FALSE(profile.engaged());
+  EXPECT_DOUBLE_EQ(profile.worker_wall_seconds, 0.0);
+  obs::RunReport report;
+  parallel::StampPoolProfile(&report);
+  EXPECT_FALSE(report.has_pool);
+}
+
+TEST_F(ParallelTest, PoolAccountingTilesWorkerWall) {
+  parallel::ResetPoolProfile();
+  obs::SetMetricsEnabled(true);
+  parallel::SetNumThreads(4);
+  for (int run = 0; run < 3; ++run) {
+    parallel::ParallelFor(
+        0, 64, 4,
+        [&](size_t b, size_t e, size_t) {
+          volatile double sink = 0.0;
+          for (size_t i = b * 2000; i < e * 2000; ++i) {
+            sink = sink + static_cast<double>(i) * 1e-9;
+          }
+        },
+        "acct.pool");
+  }
+  // Destroy the pool so every worker's wall clock is closed before the
+  // invariant check (live snapshots extrapolate open idle waits).
+  parallel::SetNumThreads(1);
+
+  const parallel::PoolProfile profile = parallel::SnapshotPoolProfile();
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(profile.engaged());
+  EXPECT_EQ(profile.workers, 4);
+  EXPECT_GT(profile.busy_seconds, 0.0);
+  EXPECT_GT(profile.utilization, 0.0);
+  EXPECT_LE(profile.utilization, 1.0 + 1e-9);
+
+  // The accounting invariant: busy + idle + queue-wait tiles each
+  // worker's wall clock (1% relative or 10ms absolute slack).
+  const double accounted = profile.busy_seconds + profile.idle_seconds +
+                           profile.queue_wait_seconds;
+  EXPECT_NEAR(accounted, profile.worker_wall_seconds,
+              std::max(0.01 * profile.worker_wall_seconds, 0.01));
+
+  // Region imbalance stats: 16 chunks per run, three runs, and the
+  // min/mean/max ordering must hold.
+  bool found = false;
+  for (const parallel::PoolRegionProfile& region : profile.regions) {
+    if (region.name != "acct.pool") continue;
+    found = true;
+    EXPECT_EQ(region.runs, 3u);
+    EXPECT_EQ(region.chunks, 48u);
+    EXPECT_GT(region.min_chunk_seconds, 0.0);
+    EXPECT_LE(region.min_chunk_seconds, region.mean_chunk_seconds);
+    EXPECT_LE(region.mean_chunk_seconds, region.max_chunk_seconds);
+    EXPECT_GT(region.utilization, 0.0);
+    EXPECT_LE(region.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_TRUE(found);
+  parallel::ResetPoolProfile();
+}
+
+TEST_F(ParallelTest, StampPoolProfileFillsReportAfterPoolRuns) {
+  parallel::ResetPoolProfile();
+  obs::SetMetricsEnabled(true);
+  parallel::SetNumThreads(2);
+  parallel::ParallelFor(
+      0, 32, 2, [](size_t, size_t, size_t) {}, "acct.stamp");
+  obs::RunReport report;
+  parallel::StampPoolProfile(&report);
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(report.has_pool);
+  EXPECT_EQ(report.pool.workers, 2);
+  EXPECT_GT(report.pool.worker_wall_seconds, 0.0);
+  ASSERT_EQ(report.pool.regions.size(), 1u);
+  EXPECT_EQ(report.pool.regions[0].name, "acct.stamp");
+  EXPECT_EQ(report.pool.regions[0].chunks, 16u);
+  parallel::ResetPoolProfile();
 }
 
 // ---- Determinism goldens: threads=1 vs threads=4 -----------------------

@@ -403,6 +403,109 @@ TEST(CheckReportsTest, LatencyGateHasAbsoluteGrace) {
   EXPECT_TRUE(CheckReports(baseline, candidate, options).empty());
 }
 
+// ---- Latency / pool sections -------------------------------------------
+
+RunReport MakeReportWithTelemetry() {
+  RunReport report = MakeReport();
+  report.latency = {{"loop.train", 3, 0.0061, 0.0019, 0.0029, 0.003},
+                    {"selector.scoring", 3, 0.0072, 0.0021, 0.0033, 0.0039}};
+  report.has_pool = true;
+  report.pool.workers = 4;
+  report.pool.busy_seconds = 0.040;
+  report.pool.idle_seconds = 0.010;
+  report.pool.queue_wait_seconds = 0.002;
+  report.pool.worker_wall_seconds = 0.052;
+  report.pool.utilization = 0.040 / 0.052;
+  report.pool.regions = {{"ml.batch", 6, 48, 0.0001, 0.0009, 0.0004, 0.71}};
+  return report;
+}
+
+TEST(ReportJsonTest, LatencyAndPoolSectionsRoundTrip) {
+  const RunReport report = MakeReportWithTelemetry();
+  RunReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReportJson(ReportToJson(report), &parsed, &error))
+      << error;
+
+  ASSERT_EQ(parsed.latency.size(), 2u);
+  EXPECT_EQ(parsed.latency[0].name, "loop.train");
+  EXPECT_EQ(parsed.latency[0].count, 3u);
+  EXPECT_EQ(parsed.latency[0].sum_seconds, 0.0061);  // Bitwise (%.17g).
+  EXPECT_EQ(parsed.latency[0].p50_seconds, 0.0019);
+  EXPECT_EQ(parsed.latency[0].p95_seconds, 0.0029);
+  EXPECT_EQ(parsed.latency[0].p99_seconds, 0.003);
+  EXPECT_EQ(parsed.latency[1].name, "selector.scoring");
+
+  ASSERT_TRUE(parsed.has_pool);
+  EXPECT_EQ(parsed.pool.workers, 4);
+  EXPECT_EQ(parsed.pool.busy_seconds, 0.040);
+  EXPECT_EQ(parsed.pool.idle_seconds, 0.010);
+  EXPECT_EQ(parsed.pool.queue_wait_seconds, 0.002);
+  EXPECT_EQ(parsed.pool.worker_wall_seconds, 0.052);
+  EXPECT_EQ(parsed.pool.utilization, 0.040 / 0.052);
+  ASSERT_EQ(parsed.pool.regions.size(), 1u);
+  EXPECT_EQ(parsed.pool.regions[0].name, "ml.batch");
+  EXPECT_EQ(parsed.pool.regions[0].runs, 6u);
+  EXPECT_EQ(parsed.pool.regions[0].chunks, 48u);
+  EXPECT_EQ(parsed.pool.regions[0].min_chunk_seconds, 0.0001);
+  EXPECT_EQ(parsed.pool.regions[0].max_chunk_seconds, 0.0009);
+  EXPECT_EQ(parsed.pool.regions[0].mean_chunk_seconds, 0.0004);
+  EXPECT_EQ(parsed.pool.regions[0].utilization, 0.71);
+}
+
+TEST(ReportJsonTest, LatencyAndPoolSectionsAreOptionalOnParse) {
+  // Reports written before the sections existed (or from serial runs)
+  // must keep parsing; the absence is the serial-path signal.
+  const std::string json = ReportToJson(MakeReport());
+  EXPECT_EQ(json.find("\"latency\""), std::string::npos);
+  EXPECT_EQ(json.find("\"pool\""), std::string::npos);
+  RunReport parsed;
+  std::string error;
+  ASSERT_TRUE(ParseReportJson(json, &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.latency.empty());
+  EXPECT_FALSE(parsed.has_pool);
+}
+
+TEST(CheckReportsTest, LatencyP95GateIsOptIn) {
+  const RunReport baseline = MakeReportWithTelemetry();
+  RunReport candidate = baseline;
+  candidate.latency[0].p95_seconds = baseline.latency[0].p95_seconds * 100.0;
+  // Off by default: a huge tail regression still passes.
+  EXPECT_TRUE(CheckReports(baseline, candidate, ReportCheckOptions())
+                  .empty());
+  ReportCheckOptions options;
+  options.latency_p95_tol = 0.25;
+  const std::vector<std::string> failures =
+      CheckReports(baseline, candidate, options);
+  ASSERT_FALSE(failures.empty());
+  EXPECT_NE(failures[0].find("p95.loop.train"), std::string::npos)
+      << failures[0];
+}
+
+TEST(CheckReportsTest, LatencyP95WithinToleranceAndGracePasses) {
+  ReportCheckOptions options;
+  options.latency_p95_tol = 0.25;
+  const RunReport baseline = MakeReportWithTelemetry();
+  RunReport candidate = baseline;
+  // +10% relative: inside the 25% tolerance.
+  candidate.latency[0].p95_seconds = baseline.latency[0].p95_seconds * 1.10;
+  // Tiny p95s jitter wildly in relative terms; the 10ms grace absorbs it.
+  candidate.latency[1].p95_seconds = baseline.latency[1].p95_seconds + 0.009;
+  EXPECT_TRUE(CheckReports(baseline, candidate, options).empty());
+}
+
+TEST(CheckReportsTest, LatencyP95GateSkipsRegionsMissingFromEitherSide) {
+  ReportCheckOptions options;
+  options.latency_p95_tol = 0.0;
+  RunReport baseline = MakeReportWithTelemetry();
+  RunReport candidate = baseline;
+  // Candidate-only region (e.g. parallel.chunk at threads=4) and a
+  // baseline-only region are structural, not regressions: both skipped.
+  candidate.latency.push_back({"parallel.chunk", 48, 1.0, 0.5, 0.9, 1.0});
+  baseline.latency.push_back({"t1.only", 1, 5.0, 5.0, 5.0, 5.0});
+  EXPECT_TRUE(CheckReports(baseline, candidate, options).empty());
+}
+
 TEST(CheckReportsTest, CounterGateIsOptIn) {
   const RunReport baseline = MakeReport();
   RunReport candidate = baseline;

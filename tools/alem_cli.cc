@@ -10,7 +10,7 @@
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
 //       [--threads=N] [--cache-dir=DIR] [--no-cache]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
-//       [--report=PATH.json]
+//       [--report=PATH.json] [--telemetry-hz=HZ]
 //       Runs one active-learning experiment and prints the learning curve.
 //       --threads sets the worker count for committee fits / example
 //       scoring / forest fits / batch predict (default: ALEM_THREADS env
@@ -24,9 +24,13 @@
 //       the counter/gauge/histogram registry as CSV; --report writes the
 //       RunReport flight-recorder JSON (config + build stamp +
 //       per-iteration curve + counters + span rollup + wall/RSS totals)
-//       consumed by tools/alem_report. Absent path flags fall back to the
-//       ALEM_TRACE_DIR / ALEM_REPORT_DIR directory knobs, same as the
-//       bench binaries (see docs/observability.md).
+//       consumed by tools/alem_report. --telemetry-hz starts the
+//       background telemetry sampler at HZ samples/second (implies tracing
+//       + metrics): RSS, cache traffic, predict calls, and pool occupancy
+//       become Chrome-trace counter events so Perfetto shows resource
+//       curves over the run. Absent path flags fall back to the
+//       ALEM_TRACE_DIR / ALEM_REPORT_DIR / ALEM_TELEMETRY_HZ environment
+//       knobs, same as the bench binaries (see docs/observability.md).
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on

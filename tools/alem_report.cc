@@ -3,14 +3,16 @@
 //
 // Commands:
 //   alem_report show REPORT.json
-//       Prints a human summary: config, F1 summary, top spans, counters.
+//       Prints a human summary: config, F1 summary, top spans, per-region
+//       latency percentiles, the thread-pool utilization section (when
+//       present), and counters.
 //   alem_report compare A.json B.json
 //       Side-by-side key numbers for two reports (quality + latency).
 //   alem_report diff A.json B.json
 //       Lists every differing summary field, counter, and span rollup row.
 //   alem_report check BASELINE.json CANDIDATE.json
 //       [--f1-tol=0.02] [--latency-tol=FRAC] [--counter-tol=FRAC]
-//       [--exact-curve]
+//       [--latency-p95-tol=FRAC] [--exact-curve]
 //       The regression gate: exits nonzero (printing each violation) when
 //       the candidate's F1 trails the baseline beyond --f1-tol, when a
 //       run-kind candidate has zero oracle.queries /
@@ -61,10 +63,45 @@ void PrintSummaryLine(const RunReport& report) {
                 static_cast<unsigned long long>(report.labels_to_converge),
                 report.total_wait_seconds);
   }
-  std::printf("  wall %.3fs, peak RSS %.1f MiB, build %s\n",
+  std::printf("  wall %.3fs, peak RSS %llu bytes (%.1f MiB), build %s\n",
               report.wall_seconds,
+              static_cast<unsigned long long>(report.peak_rss_bytes),
               static_cast<double>(report.peak_rss_bytes) / (1024.0 * 1024.0),
               report.build.c_str());
+}
+
+void PrintLatencyTable(const RunReport& report) {
+  if (report.latency.empty()) return;
+  std::printf("\n  %-28s %7s %10s %10s %10s\n", "latency region", "count",
+              "p50(ms)", "p95(ms)", "p99(ms)");
+  for (const obs::LatencyEntry& entry : report.latency) {
+    std::printf("  %-28s %7llu %10.3f %10.3f %10.3f\n", entry.name.c_str(),
+                static_cast<unsigned long long>(entry.count),
+                entry.p50_seconds * 1e3, entry.p95_seconds * 1e3,
+                entry.p99_seconds * 1e3);
+  }
+}
+
+void PrintPoolSummary(const RunReport& report) {
+  if (!report.has_pool) return;
+  const obs::PoolStats& pool = report.pool;
+  std::printf("\n  pool: %d workers, %.0f%% utilized "
+              "(busy %.3fs, idle %.3fs, queue-wait %.3fs, wall %.3fs)\n",
+              pool.workers, pool.utilization * 100.0, pool.busy_seconds,
+              pool.idle_seconds, pool.queue_wait_seconds,
+              pool.worker_wall_seconds);
+  if (pool.regions.empty()) return;
+  std::printf("  %-28s %5s %7s %10s %10s %10s %6s\n", "pool region", "runs",
+              "chunks", "min(ms)", "mean(ms)", "max(ms)", "util");
+  for (const obs::PoolRegionStats& region : pool.regions) {
+    std::printf("  %-28s %5llu %7llu %10.3f %10.3f %10.3f %5.0f%%\n",
+                region.name.c_str(),
+                static_cast<unsigned long long>(region.runs),
+                static_cast<unsigned long long>(region.chunks),
+                region.min_chunk_seconds * 1e3,
+                region.mean_chunk_seconds * 1e3,
+                region.max_chunk_seconds * 1e3, region.utilization * 100.0);
+  }
 }
 
 int CommandShow(const std::string& path) {
@@ -82,6 +119,8 @@ int CommandShow(const std::string& path) {
                 static_cast<unsigned long long>(span.count),
                 span.total_seconds * 1e3, span.self_seconds * 1e3);
   }
+  PrintLatencyTable(report);
+  PrintPoolSummary(report);
   std::printf("\n");
   for (const auto& [name, value] : report.counters) {
     std::printf("  %-32s %llu\n", name.c_str(),
@@ -113,6 +152,19 @@ int CommandCompare(const std::string& path_a, const std::string& path_b) {
       row(name.c_str(), static_cast<double>(value),
           static_cast<double>(other));
     }
+  }
+  for (const obs::LatencyEntry& entry_a : a.latency) {
+    for (const obs::LatencyEntry& entry_b : b.latency) {
+      if (entry_b.name != entry_a.name) continue;
+      row(("p95." + entry_a.name).c_str(), entry_a.p95_seconds,
+          entry_b.p95_seconds);
+      break;
+    }
+  }
+  if (a.has_pool || b.has_pool) {
+    row("pool.workers", static_cast<double>(a.pool.workers),
+        static_cast<double>(b.pool.workers));
+    row("pool.utilization", a.pool.utilization, b.pool.utilization);
   }
   std::printf("  (A = %s, B = %s)\n", path_a.c_str(), path_b.c_str());
   return 0;
@@ -196,6 +248,8 @@ int CommandCheck(const FlagParser& flags, const std::string& baseline_path,
   options.f1_tol = flags.GetDouble("f1-tol", options.f1_tol);
   options.latency_tol = flags.GetDouble("latency-tol", options.latency_tol);
   options.counter_tol = flags.GetDouble("counter-tol", options.counter_tol);
+  options.latency_p95_tol =
+      flags.GetDouble("latency-p95-tol", options.latency_p95_tol);
   options.exact_curve = flags.GetBool("exact-curve", false);
   const std::vector<std::string> failures =
       obs::CheckReports(baseline, candidate, options);
@@ -292,7 +346,45 @@ int CommandAggregate(const FlagParser& flags, const std::string& dir) {
       out.append(": ");
       AppendJsonUint(&out, value);
     }
-    out.append("}}");
+    out.append("}");
+    if (!report.latency.empty()) {
+      out.append(",\n     \"latency\": [");
+      bool first_latency = true;
+      for (const obs::LatencyEntry& entry : report.latency) {
+        if (!first_latency) out.append(", ");
+        first_latency = false;
+        out.append("{\"name\": ");
+        AppendJsonString(&out, entry.name);
+        out.append(", \"count\": ");
+        AppendJsonUint(&out, entry.count);
+        out.append(", \"p50_seconds\": ");
+        AppendJsonDouble(&out, entry.p50_seconds);
+        out.append(", \"p95_seconds\": ");
+        AppendJsonDouble(&out, entry.p95_seconds);
+        out.append(", \"p99_seconds\": ");
+        AppendJsonDouble(&out, entry.p99_seconds);
+        out.append("}");
+      }
+      out.append("]");
+    }
+    if (report.has_pool) {
+      out.append(",\n     \"pool\": {\"workers\": ");
+      out.append(std::to_string(report.pool.workers));
+      out.append(", \"busy_seconds\": ");
+      AppendJsonDouble(&out, report.pool.busy_seconds);
+      out.append(", \"idle_seconds\": ");
+      AppendJsonDouble(&out, report.pool.idle_seconds);
+      out.append(", \"queue_wait_seconds\": ");
+      AppendJsonDouble(&out, report.pool.queue_wait_seconds);
+      out.append(", \"worker_wall_seconds\": ");
+      AppendJsonDouble(&out, report.pool.worker_wall_seconds);
+      out.append(", \"utilization\": ");
+      AppendJsonDouble(&out, report.pool.utilization);
+      out.append(", \"regions\": ");
+      AppendJsonUint(&out, report.pool.regions.size());
+      out.append("}");
+    }
+    out.append("}");
     ++emitted;
   }
   out.append("\n  ]\n}\n");
@@ -322,7 +414,8 @@ int Usage() {
       "  alem_report compare A.report.json B.report.json\n"
       "  alem_report diff A.report.json B.report.json\n"
       "  alem_report check BASELINE.json CANDIDATE.json [--f1-tol=0.02]\n"
-      "      [--latency-tol=FRAC] [--counter-tol=FRAC] [--exact-curve]\n"
+      "      [--latency-tol=FRAC] [--counter-tol=FRAC]\n"
+      "      [--latency-p95-tol=FRAC] [--exact-curve]\n"
       "  alem_report aggregate DIR [--out=BENCH_alembench.json]\n");
   return 1;
 }

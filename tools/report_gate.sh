@@ -22,6 +22,13 @@
 #   5. Bench path: a tiny bench run with ALEM_REPORT_DIR set must emit a
 #      schema-valid bench report, and `alem_report aggregate` must roll
 #      it into a BENCH_alembench.json.
+#   6. Tail latency: a 4-thread telemetry run must produce a trace with
+#      sampler counter events, a schema-valid pool section satisfying
+#      the busy+idle+queue-wait ≈ worker-wall invariant, per-region
+#      latency counts identical to the serial run for every region
+#      present in both (deterministic structure), p95s within a generous
+#      tolerance — and a perturbed-latency baseline must make
+#      `check --latency-p95-tol=0` FAIL.
 set -eu
 
 build_dir="${1:-build}"
@@ -57,14 +64,14 @@ run_cli() {
       "$@" > /dev/null
 }
 
-echo "[1/5] determinism: cold cached t1 curve == uncached t4 curve"
+echo "[1/6] determinism: cold cached t1 curve == uncached t4 curve"
 mkdir -p "$work/cache"
 run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
 run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/5] cache warmth: warm rerun identical, provenance says hit"
+echo "[2/6] cache warmth: warm rerun identical, provenance says hit"
 run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
 "$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
     --exact-curve
@@ -84,7 +91,7 @@ assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
 assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
 EOF
 
-echo "[3/5] quality: three golden workloads within tolerance, counters exact"
+echo "[3/6] quality: three golden workloads within tolerance, counters exact"
 for approach in linear-margin trees5 linear-qbc4; do
   name="$(printf '%s' "$approach" | tr '-' '_')"
   candidate="$work/cand_$name.report.json"
@@ -99,7 +106,7 @@ for approach in linear-margin trees5 linear-qbc4; do
       --counter-tol=0
 done
 
-echo "[4/5] sensitivity: perturbed baseline must fail the check"
+echo "[4/6] sensitivity: perturbed baseline must fail the check"
 python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
     "$work/perturbed.json" <<'EOF'
 import json, sys
@@ -119,7 +126,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[5/5] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/6] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
@@ -134,5 +141,52 @@ with open(sys.argv[1]) as f:
 assert agg["kind"] == "aggregate", agg.get("kind")
 assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
 EOF
+
+echo "[6/6] tail latency: telemetry run, pool invariant, p95 determinism"
+run_cli linear-margin 4 "$work/lat4.report.json" --no-cache \
+    --telemetry-hz=50 --trace="$work/lat4.trace.json" \
+    --metrics="$work/lat4.metrics.csv"
+python3 "$repo_root/tools/trace_summary.py" --check "$work/lat4.trace.json" \
+    --metrics "$work/lat4.metrics.csv" --report "$work/lat4.report.json" \
+    --expect-telemetry
+# Latency structure is deterministic: every region recorded in both the
+# serial and the 4-thread report must observe the same number of events
+# (pool-only regions like parallel.chunk are legitimately t4-only).
+python3 - "$work/t1.report.json" "$work/lat4.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    t1 = {e["name"]: e for e in json.load(f).get("latency", [])}
+with open(sys.argv[2]) as f:
+    t4 = {e["name"]: e for e in json.load(f).get("latency", [])}
+assert t1 and t4, "latency sections missing from the gate reports"
+common = sorted(set(t1) & set(t4))
+assert common, "no latency regions shared between t1 and t4 reports"
+for name in common:
+    assert t1[name]["count"] == t4[name]["count"], (
+        f"{name}: {t1[name]['count']} observations at t1 vs "
+        f"{t4[name]['count']} at t4")
+EOF
+# Generous p95 gate between the two thread counts: catches order-of-
+# magnitude tail regressions without flaking on scheduler noise.
+"$report_tool" check "$work/t1.report.json" "$work/lat4.report.json" \
+    --f1-tol=1 --latency-p95-tol=20
+# Sensitivity: shrink every baseline p95 to ~zero; a zero-tolerance
+# latency gate must then reject the candidate.
+python3 - "$work/t1.report.json" "$work/lat_perturbed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report.get("latency"), "t1 report carries no latency section"
+for entry in report["latency"]:
+    entry["p95_seconds"] *= 1e-9
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f)
+EOF
+if "$report_tool" check "$work/lat_perturbed.json" "$work/lat4.report.json" \
+    --f1-tol=1 --latency-p95-tol=0 2> /dev/null; then
+  echo "FAIL: latency gate passed against a perturbed baseline" >&2
+  exit 1
+fi
+echo "perturbed latency baseline rejected as expected"
 
 echo "report gate OK"

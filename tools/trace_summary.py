@@ -17,16 +17,23 @@ Modes:
       ml.batch.parallel span (the batch inference engine's fan-out)
       nests inside one of the pipeline phases that gather rows for it,
       and the metrics CSV must report nonzero selector.scored_examples
-      and oracle.queries. Exits nonzero on any violation (used by
-      ctest).
+      and oracle.queries. Any telemetry counter events ("C" phase, from
+      the --telemetry-hz sampler) must be well-formed; pass
+      --expect-telemetry to additionally require them. Exits nonzero on
+      any violation (used by ctest).
   trace_summary.py --check --report RUN.report.json
       Validate a RunReport flight-recorder artifact (schema described in
       docs/observability.md): required fields, a coherent learning curve
-      for "run" reports, nonzero required counters, and span rollup
-      consistency. Combinable with a trace check in the same call.
+      for "run" reports, nonzero required counters, span rollup
+      consistency, ordered percentiles in the optional latency section,
+      and — when the optional pool section is present — the worker
+      accounting invariant busy + idle + queue_wait ≈ worker_wall.
+      Combinable with a trace check in the same call.
   trace_summary.py --run-cli PATH/TO/alem_cli --check
       Run a tiny synthetic experiment through alem_cli with --trace,
-      --metrics, and --report, then validate all three artifacts.
+      --metrics, and --report, then validate all three artifacts. Add
+      --telemetry HZ to run it at 4 threads with --telemetry-hz=HZ (pair
+      with --expect-telemetry to assert the sampler produced events).
 
 Only the Python standard library is used.
 """
@@ -65,6 +72,72 @@ def load_trace(path):
             if field not in event:
                 raise ValueError(f"{path}: event missing '{field}': {event}")
     return events
+
+
+def load_counter_events(path):
+    """Parses a Chrome trace file; returns its counter ("C") events."""
+    with open(path, "r", encoding="utf-8") as f:
+        root = json.load(f)
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        raise ValueError(f"{path}: no traceEvents array")
+    events = [e for e in root["traceEvents"] if e.get("ph") == "C"]
+    for event in events:
+        for field in ("name", "ts", "args"):
+            if field not in event:
+                raise ValueError(f"{path}: counter event missing "
+                                 f"'{field}': {event}")
+        if "value" not in event.get("args", {}):
+            raise ValueError(f"{path}: counter event missing args.value: "
+                             f"{event}")
+    return events
+
+
+def check_telemetry(trace_path, expect_telemetry):
+    """Validates sampler counter events; returns failure strings.
+
+    Counter events are emitted only by the --telemetry-hz background
+    sampler, so a trace without any is valid unless --expect-telemetry
+    was passed. When present, every series must be named "telemetry.*",
+    carry numeric non-negative values with non-decreasing timestamps,
+    and the mandatory RSS series must report a positive resident size.
+    """
+    try:
+        events = load_counter_events(trace_path)
+    except (ValueError, json.JSONDecodeError, OSError) as error:
+        return [f"trace counter events unreadable: {error}"]
+    if not events:
+        if expect_telemetry:
+            return ["--expect-telemetry: trace contains no telemetry "
+                    "counter events (was --telemetry-hz passed?)"]
+        return []
+    failures = []
+    last_ts = {}
+    series = set()
+    for event in events:
+        name = event["name"]
+        series.add(name)
+        if not name.startswith("telemetry."):
+            failures.append(f"counter event '{name}' is not in the "
+                            "telemetry.* namespace")
+            break
+        value = event["args"]["value"]
+        if not isinstance(value, (int, float)) or value < 0:
+            failures.append(f"counter {name} has non-numeric or negative "
+                            f"value {value!r}")
+            break
+        if event["ts"] < last_ts.get(name, 0):
+            failures.append(f"counter {name} timestamps go backwards at "
+                            f"ts={event['ts']}")
+            break
+        last_ts[name] = event["ts"]
+    if "telemetry.rss_mib" not in series:
+        failures.append("telemetry counter events present but the "
+                        "telemetry.rss_mib series is missing")
+    elif all(e["args"]["value"] <= 0 for e in events
+             if e["name"] == "telemetry.rss_mib"):
+        failures.append("telemetry.rss_mib never reports a positive "
+                        "resident size")
+    return failures
 
 
 def self_times(events):
@@ -309,6 +382,8 @@ def check_report(report_path):
                                 f"{span['total_seconds']}")
 
     failures.extend(check_report_cache(report, kind))
+    failures.extend(check_report_latency(report))
+    failures.extend(check_report_pool(report))
 
     if kind == "run":
         curve = report.get("curve", [])
@@ -380,8 +455,103 @@ def check_report_cache(report, kind):
     return failures
 
 
-def run_cli(cli_path, out_dir):
-    """Runs a tiny traced experiment; returns its artifact paths."""
+def check_report_latency(report):
+    """Validates the optional per-region latency percentile section.
+
+    Reports written before the section existed (or with metrics off)
+    simply omit it, which is valid. When present, every entry must name
+    a region with at least one observation and ordered percentiles
+    0 <= p50 <= p95 <= p99.
+    """
+    latency = report.get("latency")
+    if latency is None:
+        return []
+    if not isinstance(latency, list):
+        return ["report latency section is not an array"]
+    failures = []
+    for entry in latency:
+        for field in ("name", "count", "sum_seconds", "p50_seconds",
+                      "p95_seconds", "p99_seconds"):
+            if field not in entry:
+                failures.append(f"latency entry missing '{field}': {entry}")
+                break
+        else:
+            name = entry["name"]
+            if entry["count"] <= 0:
+                failures.append(f"latency {name}: count {entry['count']} "
+                                "must be positive (empty regions are "
+                                "omitted)")
+            p50, p95, p99 = (entry["p50_seconds"], entry["p95_seconds"],
+                             entry["p99_seconds"])
+            if not 0.0 <= p50 <= p95 <= p99:
+                failures.append(f"latency {name}: percentiles not ordered "
+                                f"(p50={p50} p95={p95} p99={p99})")
+    return failures
+
+
+def check_report_pool(report):
+    """Validates the optional thread-pool utilization section.
+
+    Serial runs (--threads=1) never engage the pool and omit the
+    section, which is valid. When present, the per-worker accounting
+    must tile worker wall time: |busy + idle + queue_wait - worker_wall|
+    within max(1% of wall, 10 ms), and every region's chunk-duration
+    stats must satisfy min <= mean <= max with a sane utilization.
+    """
+    pool = report.get("pool")
+    if pool is None:
+        return []
+    failures = []
+    for field in ("workers", "busy_seconds", "idle_seconds",
+                  "queue_wait_seconds", "worker_wall_seconds",
+                  "utilization", "regions"):
+        if field not in pool:
+            failures.append(f"pool section missing '{field}'")
+    if failures:
+        return failures
+    if pool["workers"] < 1:
+        failures.append(f"pool workers {pool['workers']} must be >= 1")
+    wall = pool["worker_wall_seconds"]
+    accounted = (pool["busy_seconds"] + pool["idle_seconds"] +
+                 pool["queue_wait_seconds"])
+    if abs(accounted - wall) > max(0.01 * wall, 0.01):
+        failures.append(f"pool accounting gap: busy+idle+queue_wait "
+                        f"{accounted:.6f}s vs worker_wall {wall:.6f}s "
+                        "(must agree within 1% or 10ms)")
+    if not 0.0 <= pool["utilization"] <= 1.0 + 1e-9:
+        failures.append(f"pool utilization {pool['utilization']} outside "
+                        "[0, 1]")
+    for region in pool["regions"]:
+        for field in ("name", "runs", "chunks", "min_chunk_seconds",
+                      "max_chunk_seconds", "mean_chunk_seconds",
+                      "utilization"):
+            if field not in region:
+                failures.append(f"pool region missing '{field}': {region}")
+                break
+        else:
+            name = region["name"]
+            if region["chunks"] <= 0 or region["runs"] <= 0:
+                failures.append(f"pool region {name}: runs/chunks must be "
+                                "positive")
+            lo, mean, hi = (region["min_chunk_seconds"],
+                            region["mean_chunk_seconds"],
+                            region["max_chunk_seconds"])
+            if not 0.0 <= lo <= mean + 1e-12 or not mean <= hi + 1e-12:
+                failures.append(f"pool region {name}: chunk stats not "
+                                f"ordered (min={lo} mean={mean} max={hi})")
+            if not 0.0 <= region["utilization"] <= 1.0 + 1e-9:
+                failures.append(f"pool region {name}: utilization "
+                                f"{region['utilization']} outside [0, 1]")
+    return failures
+
+
+def run_cli(cli_path, out_dir, telemetry_hz=0.0):
+    """Runs a tiny traced experiment; returns its artifact paths.
+
+    With telemetry_hz > 0 the run also starts the background telemetry
+    sampler and uses 4 threads so the pool-occupancy series and the
+    report's pool section have something to observe.
+    """
     trace_path = os.path.join(out_dir, "smoke.trace.json")
     metrics_path = os.path.join(out_dir, "smoke.metrics.csv")
     report_path = os.path.join(out_dir, "smoke.report.json")
@@ -394,6 +564,8 @@ def run_cli(cli_path, out_dir):
         f"--trace={trace_path}", f"--metrics={metrics_path}",
         f"--report={report_path}"
     ]
+    if telemetry_hz > 0:
+        command += [f"--telemetry-hz={telemetry_hz}", "--threads=4"]
     print("+", " ".join(command))
     subprocess.run(command, check=True)
     return trace_path, metrics_path, report_path
@@ -412,12 +584,19 @@ def main():
     parser.add_argument("--run-cli", metavar="ALEM_CLI",
                         help="run a tiny traced experiment through this "
                              "alem_cli binary first")
+    parser.add_argument("--telemetry", type=float, default=0.0,
+                        metavar="HZ",
+                        help="with --run-cli: sample telemetry at HZ and "
+                             "use 4 threads")
+    parser.add_argument("--expect-telemetry", action="store_true",
+                        help="with --check: fail unless the trace contains "
+                             "telemetry counter events")
     args = parser.parse_args()
 
     if args.run_cli:
         with tempfile.TemporaryDirectory(prefix="alem_trace_") as out_dir:
-            trace_path, metrics_path, report_path = run_cli(args.run_cli,
-                                                            out_dir)
+            trace_path, metrics_path, report_path = run_cli(
+                args.run_cli, out_dir, telemetry_hz=args.telemetry)
             return finish(args, trace_path, metrics_path, report_path)
     if not args.trace and not (args.check and args.report):
         parser.error("a trace file (or --run-cli, or --check --report) is "
@@ -431,6 +610,8 @@ def finish(args, trace_path, metrics_path, report_path):
         checked = []
         if trace_path:
             failures.extend(check(trace_path, metrics_path))
+            failures.extend(check_telemetry(trace_path,
+                                            args.expect_telemetry))
             checked.extend([trace_path, metrics_path])
         if report_path:
             failures.extend(check_report(report_path))
