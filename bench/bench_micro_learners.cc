@@ -11,9 +11,11 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string>
 
 #include "core/harness.h"
 #include "core/learner.h"
+#include "kernels/backend.h"
 #include "ml/dnf_rule.h"
 #include "ml/linear_svm.h"
 #include "ml/neural_net.h"
@@ -213,6 +215,79 @@ void BM_ForestPredictPoolBatch(benchmark::State& state) {
                           static_cast<int64_t>(rows.size()));
 }
 BENCHMARK(BM_ForestPredictPoolBatch)->Arg(1)->Arg(4);
+
+// ---- Per-backend kernel rows (docs/kernels.md) -------------------------
+//
+// The two kernel-dispatched batch paths — SVM margin GEMV and NN forward
+// pass — timed single-threaded under each available kernel backend plus
+// "auto", one JSON row per backend, so BENCH_micro_learners.json shows the
+// per-backend speedup directly (results are bitwise-identical across
+// backends; only the timing may differ). Registered at runtime because the
+// backend list is a host property.
+
+void RunSvmMarginBackend(benchmark::State& state, const std::string& backend) {
+  std::string error;
+  if (!kernels::SetBackend(backend, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const TrainingSlice slice = SliceOf(300, false);
+  SvmLearner learner;
+  learner.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  const std::vector<size_t> rows = PoolRows();
+  std::vector<double> margins(rows.size());
+  for (auto _ : state) {
+    learner.MarginBatch(pool, rows, margins.data());
+    benchmark::DoNotOptimize(margins.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+  kernels::SetBackend("auto", nullptr);
+}
+
+void RunNeuralNetProbaBackend(benchmark::State& state,
+                              const std::string& backend) {
+  std::string error;
+  if (!kernels::SetBackend(backend, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const TrainingSlice slice = SliceOf(300, false);
+  NeuralNetLearner learner;
+  learner.Fit(slice.features, slice.labels);
+  const FeatureMatrix& pool = Data().float_features;
+  const std::vector<size_t> rows = PoolRows();
+  std::vector<double> probabilities(rows.size());
+  for (auto _ : state) {
+    learner.ProbaBatch(pool, rows, probabilities.data());
+    benchmark::DoNotOptimize(probabilities.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+  kernels::SetBackend("auto", nullptr);
+}
+
+[[maybe_unused]] const int kLearnerBackendBenches = [] {
+  std::vector<std::string> backends;
+  for (const std::string_view name : kernels::AvailableBackendNames()) {
+    backends.emplace_back(name);
+  }
+  backends.emplace_back("auto");
+  for (const std::string& backend : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_SvmMarginPoolBatch/backend:" + backend).c_str(),
+        [backend](benchmark::State& state) {
+          RunSvmMarginBackend(state, backend);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_NeuralNetProbaPoolBatch/backend:" + backend).c_str(),
+        [backend](benchmark::State& state) {
+          RunNeuralNetProbaBackend(state, backend);
+        });
+  }
+  return 0;
+}();
 
 }  // namespace
 }  // namespace alem

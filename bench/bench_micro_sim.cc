@@ -3,7 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "features/feature_extractor.h"
+#include "kernels/backend.h"
 #include "sim/similarity.h"
 #include "synth/generator.h"
 #include "synth/profiles.h"
@@ -59,6 +63,90 @@ void BM_FullFeatureVector(benchmark::State& state) {
                           static_cast<int64_t>(extractor.num_dims()));
 }
 BENCHMARK(BM_FullFeatureVector);
+
+// ---- Per-backend kernel rows (docs/kernels.md) -------------------------
+//
+// EvaluateBatch over a fixed pair pool for the kernel-dispatched edit
+// similarities, one row per kernel backend plus "auto", so the JSON
+// trajectory shows per-backend speedups of the token-similarity chunk.
+// Registered at runtime because the backend list is a host property.
+
+struct SimBatchPool {
+  std::vector<AttributeProfile> profiles;
+  std::vector<const AttributeProfile*> left;
+  std::vector<const AttributeProfile*> right;
+};
+
+const SimBatchPool& BatchPool() {
+  static const SimBatchPool& pool = *new SimBatchPool([] {
+    SimBatchPool p;
+    const std::string samples[] = {
+        "sony cybershot dsc w55 digital camera 7.2 megapixel silver",
+        "sony cyber-shot dscw55 camera 7 mp with 3x optical zoom",
+        "canon powershot sx130is 12.1 mp digital camera black",
+        "kx-200 zoom lens kit for digital slr cameras",
+        "299.99", "olympus stylus tough waterproof shockproof camera",
+        "panasonic lumix dmc-fz35 12 megapixel bridge camera",
+        "x"};
+    for (const std::string& s : samples) {
+      p.profiles.push_back(AttributeProfile::Build(s));
+    }
+    while (p.left.size() < 512) {
+      for (const AttributeProfile& a : p.profiles) {
+        for (const AttributeProfile& b : p.profiles) {
+          p.left.push_back(&a);
+          p.right.push_back(&b);
+        }
+      }
+    }
+    return p;
+  }());
+  return pool;
+}
+
+void RunSimBatchBackend(benchmark::State& state, const std::string& function,
+                        const std::string& backend) {
+  std::string error;
+  if (!kernels::SetBackend(backend, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  const int index = SimilarityIndexByName(function);
+  const SimilarityFunction* sim =
+      AllSimilarityFunctions()[static_cast<size_t>(index)];
+  const SimBatchPool& pool = BatchPool();
+  std::vector<float> out(pool.left.size());
+  for (auto _ : state) {
+    sim->EvaluateBatch(pool.left, pool.right, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pool.left.size()));
+  kernels::SetBackend("auto", nullptr);
+}
+
+[[maybe_unused]] const int kSimBackendBenches = [] {
+  std::vector<std::string> backends;
+  for (const std::string_view name : kernels::AvailableBackendNames()) {
+    backends.emplace_back(name);
+  }
+  backends.emplace_back("auto");
+  for (const std::string& backend : backends) {
+    // The kernel-dispatched edit similarities: Jaro/JaroWinkler exercise
+    // the match-scan kernel, Levenshtein the DP-row kernel, MongeElkan the
+    // scan kernel across its token cross product.
+    for (const char* function :
+         {"Jaro", "JaroWinkler", "Levenshtein", "MongeElkan"}) {
+      benchmark::RegisterBenchmark(
+          ("BM_SimBatch_" + std::string(function) + "/backend:" + backend)
+              .c_str(),
+          [function, backend](benchmark::State& state) {
+            RunSimBatchBackend(state, function, backend);
+          });
+    }
+  }
+  return 0;
+}();
 
 }  // namespace
 }  // namespace alem

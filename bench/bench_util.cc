@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "kernels/backend.h"
 #include "obs/artifacts.h"
 #include "obs/obs.h"
 #include "obs/report.h"
@@ -47,7 +48,9 @@ void ExportArtifactsAtExit() {
   report.tool = ReportArtifactName();
   report.scale = ScaleFromEnv();
   report.threads = parallel::NumThreads();
+  report.kernel_backend = std::string(kernels::BackendName());
   parallel::StampPoolProfile(&report);  // Before the gauge snapshot below.
+  kernels::StampBackendGauge();
   obs::StampObservability(&report);
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

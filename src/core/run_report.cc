@@ -1,5 +1,6 @@
 #include "core/run_report.h"
 
+#include "kernels/backend.h"
 #include "parallel/pool.h"
 
 namespace alem {
@@ -24,6 +25,7 @@ obs::RunReport BuildRunReport(const PreparedDataset& data,
   report.oracle_noise = config.oracle_noise;
   report.holdout = config.holdout;
   report.cache = data.feature_cache;
+  report.kernel_backend = std::string(kernels::BackendName());
 
   report.curve.reserve(result.curve.size());
   for (const IterationStats& stats : result.curve) {
@@ -55,9 +57,10 @@ obs::RunReport BuildRunReport(const PreparedDataset& data,
   report.total_wait_seconds = result.total_wait_seconds;
   report.ensemble_accepted = result.ensemble_accepted;
 
-  // Pool profile first so its parallel.* gauges land in the observability
-  // snapshot below.
+  // Pool profile and kernel-backend gauge first so they land in the
+  // observability snapshot below.
   parallel::StampPoolProfile(&report);
+  kernels::StampBackendGauge();
   obs::StampObservability(&report);
   report.wall_seconds = wall_seconds;
   return report;

@@ -1,0 +1,155 @@
+#include "kernels/backend.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernels/kernels_internal.h"
+#include "obs/obs.h"
+
+namespace alem {
+namespace kernels {
+namespace {
+
+const KernelOps* OpsFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &internal::kScalarOps;
+    case Backend::kAvx2:
+#if defined(ALEM_KERNELS_HAVE_AVX2)
+      return &internal::kAvx2Ops;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+// Most specialized available backend; what "auto" resolves to.
+Backend BestAvailable() {
+  if (BackendAvailable(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+
+bool ParseName(std::string_view name, Backend* out) {
+  if (name == "scalar") {
+    *out = Backend::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = Backend::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+struct ActiveState {
+  Backend backend;
+  const KernelOps* ops;
+};
+
+// The environment knob is forgiving (warn + fall back to auto) so that a
+// per-backend test matrix written on a SIMD-capable host still runs — as
+// scalar — on hardware without the backend. The CLI flag goes through
+// SetBackend instead, which treats the same situations as hard errors.
+ActiveState ResolveFromEnv() {
+  const char* env = std::getenv("ALEM_KERNEL_BACKEND");
+  const std::string_view name = env == nullptr ? std::string_view("auto")
+                                               : std::string_view(env);
+  Backend backend = BestAvailable();
+  Backend requested;
+  if (name != "auto") {
+    if (!ParseName(name, &requested)) {
+      std::fprintf(stderr,
+                   "warning: ALEM_KERNEL_BACKEND=%.*s is not a known kernel "
+                   "backend; using auto (%s)\n",
+                   static_cast<int>(name.size()), name.data(),
+                   BackendToName(backend).data());
+    } else if (!BackendAvailable(requested)) {
+      std::fprintf(stderr,
+                   "warning: kernel backend %.*s is unavailable on this "
+                   "host; using auto (%s)\n",
+                   static_cast<int>(name.size()), name.data(),
+                   BackendToName(backend).data());
+    } else {
+      backend = requested;
+    }
+  }
+  return {backend, OpsFor(backend)};
+}
+
+ActiveState& State() {
+  static ActiveState state = ResolveFromEnv();
+  return state;
+}
+
+}  // namespace
+
+std::string_view BackendToName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const KernelOps& Active() { return *State().ops; }
+
+Backend ActiveBackend() { return State().backend; }
+
+std::string_view BackendName() { return BackendToName(ActiveBackend()); }
+
+bool BackendAvailable(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(ALEM_KERNELS_HAVE_AVX2)
+      // Compiled in; dispatch only where the CPU can actually run it.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<std::string_view> AvailableBackendNames() {
+  std::vector<std::string_view> names;
+  names.push_back(BackendToName(Backend::kScalar));
+  if (BackendAvailable(Backend::kAvx2)) {
+    names.push_back(BackendToName(Backend::kAvx2));
+  }
+  return names;
+}
+
+bool SetBackend(std::string_view name, std::string* error) {
+  Backend backend;
+  if (name == "auto") {
+    backend = BestAvailable();
+  } else if (!ParseName(name, &backend)) {
+    if (error != nullptr) {
+      *error = "unknown kernel backend '" + std::string(name) +
+               "' (expected auto, scalar, or avx2)";
+    }
+    return false;
+  } else if (!BackendAvailable(backend)) {
+    if (error != nullptr) {
+      *error = "kernel backend '" + std::string(name) +
+               "' is not available on this host";
+    }
+    return false;
+  }
+  State() = {backend, OpsFor(backend)};
+  return true;
+}
+
+void StampBackendGauge() {
+  obs::MetricsRegistry::Global()
+      .GetGauge("kernels.backend")
+      .Set(static_cast<double>(static_cast<int>(ActiveBackend())));
+}
+
+}  // namespace kernels
+}  // namespace alem

@@ -1,0 +1,245 @@
+// AVX2 kernels. This translation unit is the only one compiled with
+// -mavx2 (see src/kernels/CMakeLists.txt); nothing here may be executed
+// unless __builtin_cpu_supports("avx2") passed in backend.cc.
+//
+// Every kernel below is REORDER-FREE with respect to the scalar reference
+// (kernel_scalar.cc): the integer kernels compute the same exact values,
+// and the floating-point kernels vectorize across independent accumulators
+// (rows for the SVM GEMV, units for the NN affine) so each accumulator
+// still sees its terms in ascending j with one rounded multiply and one
+// rounded add per term. The TU is additionally built with -ffp-contract=off
+// (and WITHOUT -mfma) so the compiler cannot fuse that multiply-add pair
+// into a single differently-rounded FMA. Net effect: bitwise-identical
+// outputs, verified by tests/kernel_backend_test.cc and the per-backend
+// golden-baseline replay in report_gate.sh stage 7.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <climits>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernels_internal.h"
+
+namespace alem {
+namespace kernels {
+namespace internal {
+namespace {
+
+// ---- jaro_scan ---------------------------------------------------------
+//
+// First-match scan: 32 candidate positions per step; a byte qualifies when
+// b[j] == c AND matched[j] == 0. movemask + countr_zero picks the lowest
+// qualifying index, which is exactly the scalar loop's first hit.
+
+size_t JaroScanAvx2(const char* b, const uint8_t* matched, size_t lo,
+                    size_t hi, char c) {
+  const __m256i needle = _mm256_set1_epi8(c);
+  const __m256i zero = _mm256_setzero_si256();
+  size_t j = lo;
+  for (; j + 32 <= hi; j += 32) {
+    const __m256i text =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i used =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(matched + j));
+    const __m256i hit = _mm256_and_si256(_mm256_cmpeq_epi8(text, needle),
+                                         _mm256_cmpeq_epi8(used, zero));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (mask != 0) {
+      return j + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; j < hi; ++j) {
+    if (matched[j] == 0 && b[j] == c) return j;
+  }
+  return hi;
+}
+
+// ---- lev_row -----------------------------------------------------------
+//
+// The scalar recurrence
+//   cur[j] = min(prev[j] + 1, cur[j-1] + 1, prev[j-1] + cost(j))
+// carries a dependency through cur[j-1]. Defining
+//   t[j] = min(prev[j] + 1, prev[j-1] + cost(j))
+// and unrolling the carry gives the closed form
+//   cur[j] = j + min(row_index, min_{1 <= k <= j} (t[k] - k)),
+// i.e. a prefix-min of the dependency-free values t[k] - k, seeded with
+// cur[0] = row_index. Integer min is associative, so the vectorized
+// prefix-min computes exactly the scalar result.
+
+// Lane-wise inclusive prefix-min over 8 int32 lanes: log-step shifts
+// toward higher lanes with an INT_MAX identity filling the vacated lanes.
+inline __m256i PrefixMinLanes(__m256i v) {
+  const __m256i top = _mm256_set1_epi32(INT_MAX);
+  const __m256i idx1 = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i idx2 = _mm256_setr_epi32(0, 1, 0, 1, 2, 3, 4, 5);
+  v = _mm256_min_epi32(
+      v, _mm256_blend_epi32(_mm256_permutevar8x32_epi32(v, idx1), top, 0x01));
+  v = _mm256_min_epi32(
+      v, _mm256_blend_epi32(_mm256_permutevar8x32_epi32(v, idx2), top, 0x03));
+  // Shift by 4 lanes: low 128 bits become the identity, high 128 bits take
+  // the old low half.
+  v = _mm256_min_epi32(
+      v, _mm256_blend_epi32(_mm256_permute2x128_si256(v, v, 0x08), top, 0x0F));
+  return v;
+}
+
+void LevRowAvx2(const int* prev, int* cur, const char* b, size_t m,
+                char a_char, int row_index) {
+  cur[0] = row_index;
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i lane_offsets = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i a_broadcast =
+      _mm256_set1_epi32(static_cast<int8_t>(a_char));
+  // Running min of {row_index} ∪ {t[k] - k : k already processed}.
+  int carry = row_index;
+  size_t j = 1;
+  for (; j + 8 <= m + 1; j += 8) {
+    const __m256i prev_j =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + j));
+    const __m256i prev_jm1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + j - 1));
+    // b[j-1 .. j+6] sign-extended to int32 (a_broadcast is sign-extended
+    // the same way, so byte equality is preserved).
+    const __m256i text = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(b + j - 1)));
+    // cost = 0 where equal, 1 where not: cmpeq yields -1/0, +1 flips it.
+    const __m256i cost =
+        _mm256_add_epi32(_mm256_cmpeq_epi32(text, a_broadcast), one);
+    const __m256i t = _mm256_min_epi32(_mm256_add_epi32(prev_j, one),
+                                       _mm256_add_epi32(prev_jm1, cost));
+    const __m256i jvec =
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(j)),
+                         lane_offsets);
+    const __m256i pm = _mm256_min_epi32(
+        PrefixMinLanes(_mm256_sub_epi32(t, jvec)), _mm256_set1_epi32(carry));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cur + j),
+                        _mm256_add_epi32(pm, jvec));
+    // Lane 7 of pm is min(carry, min over this strip of t[k] - k).
+    carry = _mm256_extract_epi32(pm, 7);
+  }
+  for (; j <= m; ++j) {
+    const int substitution = prev[j - 1] + (a_char == b[j - 1] ? 0 : 1);
+    cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, substitution});
+  }
+}
+
+// ---- svm_margin_block --------------------------------------------------
+//
+// Full 8-row blocks: load 8 floats from each row, transpose in registers
+// so each column vector holds one feature j across all 8 rows, then for
+// each j broadcast w[j] and do one mul_pd + one add_pd into per-row double
+// accumulators — the same single-rounded multiply-add per (row, j) as the
+// scalar reference, just 4 rows per instruction. Partial trailing blocks
+// take the scalar kernel.
+
+// 8x8 float transpose: rows in, columns out (lane r of out[k] = in[r][k]).
+inline void Transpose8x8(const __m256 in[8], __m256 out[8]) {
+  const __m256 t0 = _mm256_unpacklo_ps(in[0], in[1]);
+  const __m256 t1 = _mm256_unpackhi_ps(in[0], in[1]);
+  const __m256 t2 = _mm256_unpacklo_ps(in[2], in[3]);
+  const __m256 t3 = _mm256_unpackhi_ps(in[2], in[3]);
+  const __m256 t4 = _mm256_unpacklo_ps(in[4], in[5]);
+  const __m256 t5 = _mm256_unpackhi_ps(in[4], in[5]);
+  const __m256 t6 = _mm256_unpacklo_ps(in[6], in[7]);
+  const __m256 t7 = _mm256_unpackhi_ps(in[6], in[7]);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, 0x44);
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, 0x44);
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, 0x44);
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, 0x44);
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+  out[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+  out[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+  out[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+  out[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+  out[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+  out[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+  out[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+  out[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
+
+void SvmMarginBlockAvx2(const double* w, size_t d, double bias,
+                        const float* const* x, size_t nrows, double* out) {
+  static_assert(kSvmMarginBlock == 8,
+                "AVX2 SVM kernel is shaped for 8-row blocks");
+  if (nrows != 8) {
+    kScalarOps.svm_margin_block(w, d, bias, x, nrows, out);
+    return;
+  }
+  __m256d acc_lo = _mm256_set1_pd(bias);  // Rows 0..3.
+  __m256d acc_hi = _mm256_set1_pd(bias);  // Rows 4..7.
+  size_t j = 0;
+  __m256 rows[8];
+  __m256 cols[8];
+  for (; j + 8 <= d; j += 8) {
+    for (size_t r = 0; r < 8; ++r) rows[r] = _mm256_loadu_ps(x[r] + j);
+    Transpose8x8(rows, cols);
+    for (size_t k = 0; k < 8; ++k) {
+      const __m256d wj = _mm256_set1_pd(w[j + k]);
+      const __m256d x_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(cols[k]));
+      const __m256d x_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(cols[k], 1));
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(wj, x_lo));
+      acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(wj, x_hi));
+    }
+  }
+  double acc[8];
+  _mm256_storeu_pd(acc, acc_lo);
+  _mm256_storeu_pd(acc + 4, acc_hi);
+  // Feature tail continues the same accumulators in ascending j.
+  for (; j < d; ++j) {
+    const double wj = w[j];
+    for (size_t r = 0; r < 8; ++r) acc[r] += wj * x[r][j];
+  }
+  for (size_t r = 0; r < 8; ++r) out[r] = acc[r];
+}
+
+// ---- nn_affine ---------------------------------------------------------
+//
+// Vectorized across UNITS: with the [in x out] transposed weights (wt),
+// four units' accumulators ride one __m256d, each fed x[j] * wt[j][o] in
+// ascending j. Per unit the operation sequence matches the scalar
+// row-major loop exactly. The unit tail (out % 4) runs scalar off the
+// row-major weights.
+
+template <typename In>
+void NnAffineAvx2(const double* w, const double* wt, const double* bias,
+                  size_t in, size_t out, const In* x, double* z) {
+  size_t o = 0;
+  for (; o + 4 <= out; o += 4) {
+    __m256d acc = _mm256_loadu_pd(bias + o);
+    const double* col = wt + o;
+    for (size_t j = 0; j < in; ++j) {
+      const __m256d xj = _mm256_set1_pd(static_cast<double>(x[j]));
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(xj, _mm256_loadu_pd(col + j * out)));
+    }
+    _mm256_storeu_pd(z + o, acc);
+  }
+  for (; o < out; ++o) {
+    const double* wo = w + o * in;
+    double acc = bias[o];
+    for (size_t j = 0; j < in; ++j) acc += wo[j] * x[j];
+    z[o] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelOps kAvx2Ops = {
+    /*name=*/"avx2",
+    /*jaro_scan=*/JaroScanAvx2,
+    /*lev_row=*/LevRowAvx2,
+    /*svm_margin_block=*/SvmMarginBlockAvx2,
+    /*nn_wants_transpose=*/true,
+    /*nn_affine_f32=*/NnAffineAvx2<float>,
+    /*nn_affine_f64=*/NnAffineAvx2<double>,
+};
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace alem

@@ -1,0 +1,75 @@
+// Portable scalar kernels — the reference implementations every other
+// backend is differentially tested against (tests/kernel_backend_test.cc).
+// These are verbatim extractions of the inner loops that previously lived
+// inline in sim/edit_based.cc, ml/linear_svm.cc, and ml/neural_net.cc;
+// changing any arithmetic here changes the framework's golden baselines.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernels_internal.h"
+
+namespace alem {
+namespace kernels {
+namespace internal {
+namespace {
+
+size_t JaroScanScalar(const char* b, const uint8_t* matched, size_t lo,
+                      size_t hi, char c) {
+  for (size_t j = lo; j < hi; ++j) {
+    if (matched[j] == 0 && b[j] == c) return j;
+  }
+  return hi;
+}
+
+void LevRowScalar(const int* prev, int* cur, const char* b, size_t m,
+                  char a_char, int row_index) {
+  cur[0] = row_index;
+  for (size_t j = 1; j <= m; ++j) {
+    const int substitution = prev[j - 1] + (a_char == b[j - 1] ? 0 : 1);
+    cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, substitution});
+  }
+}
+
+void SvmMarginBlockScalar(const double* w, size_t d, double bias,
+                          const float* const* x, size_t nrows, double* out) {
+  // Register-blocked GEMV: walk the weight vector once and feed every
+  // row's accumulator from the same loaded weight. Each accumulator starts
+  // at bias and sees w[j] * x[j] in ascending j — the scalar Margin()
+  // order, so the sums are bitwise-identical to per-row evaluation.
+  double acc[kSvmMarginBlock];
+  for (size_t r = 0; r < nrows; ++r) acc[r] = bias;
+  for (size_t j = 0; j < d; ++j) {
+    const double wj = w[j];
+    for (size_t r = 0; r < nrows; ++r) acc[r] += wj * x[r][j];
+  }
+  for (size_t r = 0; r < nrows; ++r) out[r] = acc[r];
+}
+
+template <typename In>
+void NnAffineScalar(const double* w, const double* /*wt*/, const double* bias,
+                    size_t in, size_t out, const In* x, double* z) {
+  for (size_t o = 0; o < out; ++o) {
+    const double* wo = w + o * in;
+    double acc = bias[o];
+    for (size_t j = 0; j < in; ++j) acc += wo[j] * x[j];
+    z[o] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelOps kScalarOps = {
+    /*name=*/"scalar",
+    /*jaro_scan=*/JaroScanScalar,
+    /*lev_row=*/LevRowScalar,
+    /*svm_margin_block=*/SvmMarginBlockScalar,
+    /*nn_wants_transpose=*/false,
+    /*nn_affine_f32=*/NnAffineScalar<float>,
+    /*nn_affine_f64=*/NnAffineScalar<double>,
+};
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace alem

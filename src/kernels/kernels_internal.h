@@ -1,0 +1,27 @@
+// Internal linkage between the dispatcher (backend.cc) and the per-backend
+// translation units. Not installed; include only from src/kernels/.
+
+#ifndef ALEM_KERNELS_KERNELS_INTERNAL_H_
+#define ALEM_KERNELS_KERNELS_INTERNAL_H_
+
+#include "kernels/backend.h"
+
+namespace alem {
+namespace kernels {
+namespace internal {
+
+// The portable reference table (kernel_scalar.cc). Always compiled.
+extern const KernelOps kScalarOps;
+
+#if defined(ALEM_KERNELS_HAVE_AVX2)
+// AVX2 table (kernel_avx2.cc, built with -mavx2 -ffp-contract=off). Only
+// dispatched to after __builtin_cpu_supports("avx2") says the host can run
+// it — nothing outside that TU may execute AVX2 instructions.
+extern const KernelOps kAvx2Ops;
+#endif
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace alem
+
+#endif  // ALEM_KERNELS_KERNELS_INTERNAL_H_

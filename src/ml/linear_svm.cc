@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "kernels/backend.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -75,26 +76,19 @@ double LinearSvm::Margin(const float* x) const {
 void LinearSvm::MarginBatch(const FeatureMatrix& features,
                             std::span<const size_t> rows, double* out) const {
   ALEM_CHECK(trained());
-  // Register-blocked GEMV: for a block of rows, walk the weight vector once
-  // and feed every row's accumulator from the same loaded weight. Each
-  // accumulator starts at bias_ and sees weights_[j] * x[j] in ascending j,
-  // exactly the scalar Margin order, so the sums are bitwise-identical.
-  constexpr size_t kBlock = 8;
+  // Register-blocked GEMV, dispatched to the active kernel backend. Every
+  // backend's svm_margin_block accumulates each row from bias_ through
+  // weights_[j] * x[j] in ascending j — exactly the scalar Margin order —
+  // so the margins are bitwise-identical across backends.
+  constexpr size_t kBlock = kernels::kSvmMarginBlock;
   const size_t d = weights_.size();
   const double* w = weights_.data();
+  const kernels::KernelOps& ops = kernels::Active();
   for (size_t base = 0; base < rows.size(); base += kBlock) {
     const size_t b = std::min(kBlock, rows.size() - base);
     const float* x[kBlock];
-    double acc[kBlock];
-    for (size_t r = 0; r < b; ++r) {
-      x[r] = features.Row(rows[base + r]);
-      acc[r] = bias_;
-    }
-    for (size_t j = 0; j < d; ++j) {
-      const double wj = w[j];
-      for (size_t r = 0; r < b; ++r) acc[r] += wj * x[r][j];
-    }
-    for (size_t r = 0; r < b; ++r) out[base + r] = acc[r];
+    for (size_t r = 0; r < b; ++r) x[r] = features.Row(rows[base + r]);
+    ops.svm_margin_block(w, d, bias_, x, b, out + base);
   }
 }
 

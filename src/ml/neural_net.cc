@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "kernels/backend.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -446,6 +447,24 @@ void NeuralNetwork::MarginBatch(const FeatureMatrix& features,
       }
     }
   }
+  // SIMD backends vectorize the affine kernel across units, which wants
+  // unit-contiguous weights: build one [in x out] transposed copy per
+  // layer per call (amortized over every chunk of the batch).
+  const kernels::KernelOps& ops = kernels::Active();
+  std::vector<std::vector<double>> transposed(layers_.size());
+  if (ops.nn_wants_transpose) {
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      const size_t out_width = static_cast<size_t>(layer.out);
+      const size_t in_width = static_cast<size_t>(layer.in);
+      transposed[l].resize(in_width * out_width);
+      for (size_t o = 0; o < out_width; ++o) {
+        for (size_t j = 0; j < in_width; ++j) {
+          transposed[l][j * out_width + o] = layer.weights[o * in_width + j];
+        }
+      }
+    }
+  }
 
   for (size_t base = 0; base < rows.size(); base += kChunk) {
     const size_t b = std::min(kChunk, rows.size() - base);
@@ -457,24 +476,26 @@ void NeuralNetwork::MarginBatch(const FeatureMatrix& features,
       const size_t in_width = static_cast<size_t>(layer.in);
       // Row-outer / unit-inner: EM networks are narrow, so the layer's
       // whole weight matrix stays cache-resident across the chunk while
-      // each example's input row stays in L1 for all of its units — with
-      // ReLU and inference batch-norm fused into the same sweep. The
-      // per-(row, unit) expressions are copied from Margin verbatim (the
-      // batch-norm divisor stays a division by the hoisted sqrt), so every
-      // intermediate double is bitwise-identical to the scalar pass.
+      // each example's input row stays in L1 for all of its units. The
+      // affine part is backend-dispatched; every backend accumulates each
+      // unit from bias through w[j] * x[j] in ascending j — the scalar
+      // Margin order — and ReLU plus inference batch-norm stay scalar per
+      // (row, unit) (the divisor stays a division by the hoisted sqrt), so
+      // every intermediate double is bitwise-identical to the scalar pass.
+      const double* wt =
+          ops.nn_wants_transpose ? transposed[l].data() : nullptr;
       for (size_t i = 0; i < b; ++i) {
-        const float* xi = x[i];
         const double* a = activation.data() + i * in_width;
         double* n = next.data() + i * out_width;
+        if (l == 0) {
+          ops.nn_affine_f32(layer.weights.data(), wt, layer.bias.data(),
+                            in_width, out_width, x[i], n);
+        } else {
+          ops.nn_affine_f64(layer.weights.data(), wt, layer.bias.data(),
+                            in_width, out_width, a, n);
+        }
         for (size_t o = 0; o < out_width; ++o) {
-          const double* w = layer.weights.data() + o * in_width;
-          double z = layer.bias[o];
-          if (l == 0) {
-            for (size_t j = 0; j < in_width; ++j) z += w[j] * xi[j];
-          } else {
-            for (size_t j = 0; j < in_width; ++j) z += w[j] * a[j];
-          }
-          z = std::max(0.0, z);  // ReLU.
+          double z = std::max(0.0, n[o]);  // ReLU.
           if (config_.use_batch_norm) {
             z = layer.gamma[o] * (z - layer.running_mean[o]) / bn_sqrts[l][o] +
                 layer.beta[o];

@@ -202,6 +202,8 @@ std::string ReportToJson(const RunReport& report) {
   out.append(report.holdout ? "true" : "false");
   out.append(", \"cache\": ");
   AppendJsonString(&out, report.cache);
+  out.append(", \"kernel_backend\": ");
+  AppendJsonString(&out, report.kernel_backend);
   out.append("}");
 
   if (report.kind == "run" || !report.curve.empty()) {
@@ -421,6 +423,9 @@ bool ParseReportJson(std::string_view text, RunReport* report,
     parsed.holdout = cfg.Bool("holdout");
     const std::string cache = cfg.String("cache", /*required=*/false);
     if (!cache.empty()) parsed.cache = cache;
+    const std::string kernel_backend =
+        cfg.String("kernel_backend", /*required=*/false);
+    if (!kernel_backend.empty()) parsed.kernel_backend = kernel_backend;
   }
 
   const bool is_run = parsed.kind == "run";

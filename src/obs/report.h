@@ -22,7 +22,7 @@
 //   { "schema_version": 1, "kind": "run"|"bench", "tool": ..., "build": ...,
 //     "config":  { dataset, approach, data_seed, run_seed, scale, threads,
 //                  seed_size, batch_size, max_labels, oracle_noise, holdout,
-//                  cache },
+//                  cache, kernel_backend },
 //     "curve":   [ { iteration, labels_used, precision, recall, f1,
 //                    train_seconds, evaluate_seconds, select_seconds,
 //                    committee_seconds, scoring_seconds, label_seconds,
@@ -45,7 +45,8 @@
 // "latency" (per-region tail percentiles from the lat.* histograms) and
 // "pool" (thread-pool utilization; only present when the pool engaged, so
 // threads=1 reports are unchanged) are optional on parse like
-// config.cache, keeping schema v1 backward compatible.
+// config.cache and config.kernel_backend, keeping schema v1 backward
+// compatible.
 // Doubles are written with %.17g so a parse-back is bit-identical — the
 // determinism gate (--exact-curve) depends on this.
 
@@ -152,6 +153,10 @@ struct RunReport {
   // and stored), or "hit" (loaded from ALEM_CACHE_DIR). Optional on parse
   // so pre-cache reports stay loadable; defaults to "off".
   std::string cache = "off";
+  // SIMD kernel backend the run executed with ("scalar", "avx2"; see
+  // src/kernels/backend.h). Optional on parse so pre-kernel reports stay
+  // loadable; defaults to "scalar".
+  std::string kernel_backend = "scalar";
 
   // curve + summary (required for kind "run")
   std::vector<ReportIteration> curve;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "kernels/backend.h"
+
 namespace alem {
 namespace {
 
@@ -31,13 +33,12 @@ int LevenshteinDistanceWith(std::string_view a, std::string_view b,
   previous.assign(m + 1, 0);
   current.assign(m + 1, 0);
   for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
+  // The row update is backend-dispatched (kernels::Active()); every
+  // backend computes the exact integer DP row, so results are identical.
+  const kernels::KernelOps& ops = kernels::Active();
   for (size_t i = 1; i <= n; ++i) {
-    current[0] = static_cast<int>(i);
-    for (size_t j = 1; j <= m; ++j) {
-      const int substitution = previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      current[j] =
-          std::min({previous[j] + 1, current[j - 1] + 1, substitution});
-    }
+    ops.lev_row(previous.data(), current.data(), b.data(), m, a[i - 1],
+                static_cast<int>(i));
     std::swap(previous, current);
   }
   return previous[m];
@@ -57,17 +58,18 @@ double JaroRawWith(std::string_view a, std::string_view b,
   a_matched.assign(n, 0);
   b_matched.assign(m, 0);
 
+  // The first-match window scan is backend-dispatched (kernels::Active());
+  // it is exact integer work, so every backend finds the same match set.
+  const kernels::KernelOps& ops = kernels::Active();
   size_t matches = 0;
   for (size_t i = 0; i < n; ++i) {
     const size_t lo = i > window ? i - window : 0;
     const size_t hi = std::min(m, i + window + 1);
-    for (size_t j = lo; j < hi; ++j) {
-      if (b_matched[j] == 0 && a[i] == b[j]) {
-        a_matched[i] = 1;
-        b_matched[j] = 1;
-        ++matches;
-        break;
-      }
+    const size_t j = ops.jaro_scan(b.data(), b_matched.data(), lo, hi, a[i]);
+    if (j < hi) {
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
     }
   }
   if (matches == 0) return 0.0;

@@ -3,12 +3,17 @@
 // Commands:
 //   alem_cli list
 //       Lists the built-in dataset profiles and approach names.
+//   alem_cli kernels
+//       Prints the available SIMD kernel backends and the one that is
+//       active under the current --kernel-backend / ALEM_KERNEL_BACKEND
+//       selection (docs/kernels.md).
 //   alem_cli stats --dataset=<name> [--scale=S] [--seed=N]
 //       Table-1 style statistics for one dataset.
 //   alem_cli run --dataset=<name> --approach=<name>
 //       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
 //       [--threads=N] [--cache-dir=DIR] [--no-cache]
+//       [--kernel-backend=auto|scalar|avx2]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
 //       [--report=PATH.json] [--telemetry-hz=HZ]
 //       Runs one active-learning experiment and prints the learning curve.
@@ -18,7 +23,12 @@
 //       bitwise-identical at every thread count (docs/parallelism.md).
 //       --cache-dir points the persistent feature-matrix cache at DIR
 //       (default: $ALEM_CACHE_DIR; unset = no cache); --no-cache disables
-//       it regardless (docs/featurization.md). --trace captures every
+//       it regardless (docs/featurization.md). --kernel-backend pins the
+//       SIMD kernel backend (default auto = best available; an unknown or
+//       unavailable name is an error — the ALEM_KERNEL_BACKEND env knob
+//       instead warns and falls back to auto). Curves are bitwise-
+//       identical across backends (docs/kernels.md); the choice is
+//       stamped into config.kernel_backend of the report. --trace captures every
 //       pipeline span (prepare/train/evaluate/select/label/fit) as Chrome
 //       trace-event JSON for chrome://tracing or Perfetto; --metrics dumps
 //       the counter/gauge/histogram registry as CSV; --report writes the
@@ -46,6 +56,7 @@
 
 #include "core/harness.h"
 #include "core/run_report.h"
+#include "kernels/backend.h"
 #include "ml/metrics.h"
 #include "ml/serialization.h"
 #include "obs/artifacts.h"
@@ -268,17 +279,42 @@ int CommandApply(const FlagParser& flags) {
   return 0;
 }
 
+int CommandKernels() {
+  std::printf("available:");
+  for (const std::string_view name : kernels::AvailableBackendNames()) {
+    std::printf(" %.*s", static_cast<int>(name.size()), name.data());
+  }
+  std::printf("\nactive: %.*s\n",
+              static_cast<int>(kernels::BackendName().size()),
+              kernels::BackendName().data());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const std::string command =
       flags.positional().empty() ? "help" : flags.positional()[0];
+  // Resolve the kernel backend before any command touches similarity or
+  // learner code. Unlike the forgiving ALEM_KERNEL_BACKEND environment
+  // knob, an explicit flag naming an unknown or unavailable backend is a
+  // hard error.
+  if (flags.Has("kernel-backend")) {
+    std::string error;
+    if (!kernels::SetBackend(flags.GetString("kernel-backend", "auto"),
+                             &error)) {
+      std::fprintf(stderr, "error: --kernel-backend: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (command == "kernels") return CommandKernels();
   if (command == "list") return CommandList();
   if (command == "stats") return CommandStats(flags);
   if (command == "run") return CommandRun(flags);
   if (command == "apply") return CommandApply(flags);
   std::printf(
-      "usage: alem_cli <list|stats|run|apply> [flags]\n"
+      "usage: alem_cli <list|stats|run|apply|kernels> [flags]\n"
       "  alem_cli list\n"
+      "  alem_cli kernels\n"
       "  alem_cli stats --dataset=Abt-Buy\n"
       "  alem_cli run --dataset=Abt-Buy --approach=trees20 "
       "--max-labels=300\n"

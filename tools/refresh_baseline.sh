@@ -15,6 +15,11 @@
 # (miss=1, write=1, hit=0); report_gate.sh replays the same cold setup and
 # compares counters exactly.
 #
+# Baselines are generated with --kernel-backend=scalar so they pin the
+# portable reference path regardless of the refreshing host's CPU; the
+# SIMD backends are required to reproduce these curves bitwise anyway
+# (docs/kernels.md), and report_gate.sh stage 7 enforces that.
+#
 # Usage: tools/refresh_baseline.sh [BUILD_DIR]   (default: build)
 set -eu
 
@@ -42,7 +47,7 @@ for approach in linear-margin trees5 linear-qbc4; do
   baseline="$baseline_dir/cli_abtbuy_$name.report.json"
   mkdir -p "$work/cache_$name"
   "$cli" run --dataset=Abt-Buy --approach="$approach" --scale=0.25 \
-      --max-labels=60 --threads=1 --quiet \
+      --max-labels=60 --threads=1 --quiet --kernel-backend=scalar \
       --cache-dir="$work/cache_$name" --report="$baseline"
   echo "baseline refreshed: $baseline"
 done

@@ -29,6 +29,13 @@
 #      present in both (deterministic structure), p95s within a generous
 #      tolerance — and a perturbed-latency baseline must make
 #      `check --latency-p95-tol=0` FAIL.
+#   7. Kernel backends: scalar-forced reruns of all three golden
+#      workloads must replay their committed baselines with every
+#      counter exact, and each additional backend reported by
+#      `alem_cli kernels` must reproduce the scalar linear-margin curve
+#      bitwise (--exact-curve --counter-tol=0) while stamping its name
+#      into config.kernel_backend — the end-to-end counterpart of the
+#      kernels-labeled ctest matrix (docs/kernels.md).
 set -eu
 
 build_dir="${1:-build}"
@@ -64,14 +71,14 @@ run_cli() {
       "$@" > /dev/null
 }
 
-echo "[1/6] determinism: cold cached t1 curve == uncached t4 curve"
+echo "[1/7] determinism: cold cached t1 curve == uncached t4 curve"
 mkdir -p "$work/cache"
 run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
 run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/6] cache warmth: warm rerun identical, provenance says hit"
+echo "[2/7] cache warmth: warm rerun identical, provenance says hit"
 run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
 "$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
     --exact-curve
@@ -91,7 +98,7 @@ assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
 assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
 EOF
 
-echo "[3/6] quality: three golden workloads within tolerance, counters exact"
+echo "[3/7] quality: three golden workloads within tolerance, counters exact"
 for approach in linear-margin trees5 linear-qbc4; do
   name="$(printf '%s' "$approach" | tr '-' '_')"
   candidate="$work/cand_$name.report.json"
@@ -106,7 +113,7 @@ for approach in linear-margin trees5 linear-qbc4; do
       --counter-tol=0
 done
 
-echo "[4/6] sensitivity: perturbed baseline must fail the check"
+echo "[4/7] sensitivity: perturbed baseline must fail the check"
 python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
     "$work/perturbed.json" <<'EOF'
 import json, sys
@@ -126,7 +133,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[5/6] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/7] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
@@ -142,7 +149,7 @@ assert agg["kind"] == "aggregate", agg.get("kind")
 assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
 EOF
 
-echo "[6/6] tail latency: telemetry run, pool invariant, p95 determinism"
+echo "[6/7] tail latency: telemetry run, pool invariant, p95 determinism"
 run_cli linear-margin 4 "$work/lat4.report.json" --no-cache \
     --telemetry-hz=50 --trace="$work/lat4.trace.json" \
     --metrics="$work/lat4.metrics.csv"
@@ -188,5 +195,46 @@ if "$report_tool" check "$work/lat_perturbed.json" "$work/lat4.report.json" \
   exit 1
 fi
 echo "perturbed latency baseline rejected as expected"
+
+echo "[7/7] kernel backends: scalar golden replay, per-backend equivalence"
+# Scalar-forced cold runs must replay all three committed baselines with
+# every counter exact — pins the scalar reference path end to end.
+for approach in linear-margin trees5 linear-qbc4; do
+  name="$(printf '%s' "$approach" | tr '-' '_')"
+  mkdir -p "$work/cache_scalar_$name"
+  run_cli "$approach" 1 "$work/scalar_$name.report.json" \
+      --cache-dir="$work/cache_scalar_$name" --kernel-backend=scalar
+  "$report_tool" check \
+      "$baseline_dir/cli_abtbuy_$name.report.json" \
+      "$work/scalar_$name.report.json" --counter-tol=0
+done
+# Every additional backend this host offers must reproduce the scalar
+# linear-margin curve bitwise and stamp itself into config.kernel_backend.
+backends="$("$cli" kernels | sed -n 's/^available: //p')"
+for backend in $backends; do
+  [ "$backend" = "scalar" ] && continue
+  mkdir -p "$work/cache_kb_$backend"
+  run_cli linear-margin 1 "$work/kb_$backend.report.json" \
+      --cache-dir="$work/cache_kb_$backend" --kernel-backend="$backend"
+  "$report_tool" check \
+      "$work/scalar_linear_margin.report.json" \
+      "$work/kb_$backend.report.json" --exact-curve --counter-tol=0
+  python3 - "$work/kb_$backend.report.json" "$backend" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+stamped = report["config"].get("kernel_backend")
+assert stamped == sys.argv[2], (
+    f"config.kernel_backend is {stamped!r}, expected {sys.argv[2]!r}")
+EOF
+done
+python3 - "$work/scalar_linear_margin.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+stamped = report["config"].get("kernel_backend")
+assert stamped == "scalar", (
+    f"config.kernel_backend is {stamped!r}, expected 'scalar'")
+EOF
 
 echo "report gate OK"
