@@ -243,6 +243,16 @@ void RunSvmMarginBackend(benchmark::State& state, const std::string& backend) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(rows.size()));
+  // Derived roofline throughput for the JSON row: rows scored per second
+  // and GEMV GFLOP/s (2 FLOPs per weight per row — multiply + accumulate),
+  // matching the "ml.batch" accounting in the report profile section.
+  const double rows_done = static_cast<double>(state.iterations()) *
+                           static_cast<double>(rows.size());
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(rows_done, benchmark::Counter::kIsRate);
+  state.counters["flops_per_sec"] = benchmark::Counter(
+      rows_done * 2.0 * static_cast<double>(pool.dims()),
+      benchmark::Counter::kIsRate);
   kernels::SetBackend("auto", nullptr);
 }
 
@@ -265,6 +275,22 @@ void RunNeuralNetProbaBackend(benchmark::State& state,
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(rows.size()));
+  // Derived roofline throughput: rows/s plus forward-pass GFLOP/s from the
+  // layer shapes (2 FLOPs per weight per row, affine output included).
+  const NeuralNetConfig net_config;
+  double flops_per_row = 0.0;
+  int in_dim = static_cast<int>(pool.dims());
+  for (const int out_dim : net_config.hidden_sizes) {
+    flops_per_row += 2.0 * in_dim * out_dim;
+    in_dim = out_dim;
+  }
+  flops_per_row += 2.0 * in_dim;  // Output affine layer.
+  const double rows_done = static_cast<double>(state.iterations()) *
+                           static_cast<double>(rows.size());
+  state.counters["rows_per_sec"] =
+      benchmark::Counter(rows_done, benchmark::Counter::kIsRate);
+  state.counters["flops_per_sec"] = benchmark::Counter(
+      rows_done * flops_per_row, benchmark::Counter::kIsRate);
   kernels::SetBackend("auto", nullptr);
 }
 

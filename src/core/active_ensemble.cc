@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace alem {
@@ -88,6 +89,11 @@ std::vector<IterationStats> ActiveEnsembleLoop::Run(ActivePool& pool) {
     // otherwise pollute the union with false positives.
     {
       obs::ObsSpan evaluate_span("loop.evaluate", "core");
+      // Roofline items: one per evaluated row (obs/profile.h).
+      if (obs::profile::Region* profiled =
+              obs::profile::ActiveRegion("loop.evaluate")) {
+        obs::profile::AddWork(*profiled, evaluator_.eval_rows().size());
+      }
       const bool include_candidate =
           trainable && candidate_.trained() &&
           (accepted_count_ == 0 ||

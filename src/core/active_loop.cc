@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -105,6 +106,11 @@ std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
     {
       obs::ObsSpan evaluate_span("loop.evaluate", "core");
       const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
+      // Roofline items: one per evaluated row (obs/profile.h).
+      if (obs::profile::Region* profiled =
+              obs::profile::ActiveRegion("loop.evaluate")) {
+        obs::profile::AddWork(*profiled, eval_rows.size());
+      }
       std::vector<int> predictions(eval_rows.size());
       // One batched sweep through the learner's vector kernel (the fan-out
       // runs under "ml.batch" inside this evaluate span).

@@ -1,5 +1,7 @@
 #include "obs/obs.h"
 
+#include "obs/profile.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -159,16 +161,26 @@ uint64_t PeakRssBytes() {
 #endif
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
-#if defined(__APPLE__)
-    return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
-#endif
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    const uint64_t bytes = detail::RuMaxRssToBytes(usage.ru_maxrss);
+    if (bytes > 0) return bytes;
   }
 #endif
   return 0;
 }
+
+namespace detail {
+
+uint64_t RuMaxRssToBytes(long ru_maxrss) {
+  if (ru_maxrss <= 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(ru_maxrss);  // Bytes on macOS.
+#else
+  return static_cast<uint64_t>(ru_maxrss) * 1024;  // KiB elsewhere.
+#endif
+}
+
+}  // namespace detail
 
 uint64_t CurrentRssBytes() {
 #if defined(__linux__)
@@ -512,7 +524,10 @@ ObsSpan::ObsSpan(std::string_view name, std::string_view category,
       category_(category),
       detail_(detail),
       start_ns_(TraceNowNanos()),
-      depth_(t_span_depth++) {}
+      depth_(t_span_depth++) {
+  // One relaxed load when profiling is off (obs/profile.h).
+  if (profile::Enabled()) profiled_ = profile::SpanOpen(name_);
+}
 
 ObsSpan::~ObsSpan() { Close(); }
 
@@ -521,6 +536,10 @@ double ObsSpan::Close() {
     open_ = false;
     --t_span_depth;
     duration_ns_ = TraceNowNanos() - start_ns_;
+    if (profiled_) {
+      profiled_ = false;
+      profile::SpanClose(name_, duration_ns_);
+    }
     if (TracingEnabled()) {
       SpanRecord record;
       record.name = name_;

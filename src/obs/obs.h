@@ -280,6 +280,10 @@ class ObsSpan {
   uint64_t duration_ns_ = 0;
   int depth_;
   bool open_ = true;
+  // True when this span's name is an actively profiled region
+  // (obs/profile.h): Close() then feeds the duration and this thread's
+  // hardware-counter delta into that region's accumulators.
+  bool profiled_ = false;
 };
 
 // Nanoseconds since the process-wide trace epoch (first use).
@@ -290,6 +294,13 @@ uint64_t TraceNowNanos();
 // when neither source is available. Stamped into every RunReport and
 // published as the `process.peak_rss_bytes` gauge (obs/report.h).
 uint64_t PeakRssBytes();
+
+namespace detail {
+// Normalizes a getrusage ru_maxrss value to bytes in one place: the field
+// is KiB on Linux (and most Unixes) but *bytes* on macOS. Non-positive
+// values (unset / unsupported platforms) normalize to 0.
+uint64_t RuMaxRssToBytes(long ru_maxrss);
+}  // namespace detail
 
 // Current resident set size in bytes (Linux /proc/self/statm); 0 when
 // unavailable. Sampled by the telemetry sampler (obs/telemetry.h) to plot

@@ -1,0 +1,435 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace alem {
+namespace obs {
+namespace profile {
+
+namespace detail {
+std::atomic<bool> g_profile_enabled{false};
+}  // namespace detail
+
+namespace {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- Region registry ---------------------------------------------------
+
+struct Registry {
+  std::mutex mutex;
+  // Node pointers are leaked deliberately: call sites cache Region& in
+  // function-local statics, so addresses must stay valid for the process
+  // lifetime (same pattern as MetricsRegistry).
+  std::vector<Region*> regions;
+  // Allowlist order of the current Enable() call.
+  std::vector<Region*> enabled_order;
+  // Regions that already registered their telemetry items probe.
+  std::vector<Region*> probed;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Region* FindLocked(Registry& registry, std::string_view name) {
+  for (Region* region : registry.regions) {
+    if (region->name == name) return region;
+  }
+  return nullptr;
+}
+
+Region& GetRegionLocked(Registry& registry, std::string_view name) {
+  if (Region* region = FindLocked(registry, name)) return *region;
+  registry.regions.push_back(new Region(std::string(name)));
+  return *registry.regions.back();
+}
+
+void ResetRegionLocked(Region& region) {
+  region.spans.store(0, std::memory_order_relaxed);
+  region.nanos.store(0, std::memory_order_relaxed);
+  region.items.store(0, std::memory_order_relaxed);
+  region.bytes.store(0, std::memory_order_relaxed);
+  region.flops.store(0, std::memory_order_relaxed);
+  for (int e = 0; e < kNumHwEvents; ++e) {
+    region.hw[e].store(0, std::memory_order_relaxed);
+  }
+}
+
+// Splits "a, b,c" into trimmed non-empty tokens.
+std::vector<std::string> SplitCsv(std::string_view csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t end = csv.find(',', start);
+    if (end == std::string_view::npos) end = csv.size();
+    std::string_view token = csv.substr(start, end - start);
+    while (!token.empty() && (token.front() == ' ' || token.front() == '\t')) {
+      token.remove_prefix(1);
+    }
+    while (!token.empty() && (token.back() == ' ' || token.back() == '\t')) {
+      token.remove_suffix(1);
+    }
+    if (!token.empty()) out.emplace_back(token);
+    if (end == csv.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+// ---- Hardware counters (Linux perf_event_open) -------------------------
+//
+// Tri-state availability resolved once, process-wide, on the first ReadHw:
+// 0 = untried, 1 = available, 2 = unavailable. Each thread then owns its
+// own counter group (pid=0, cpu=-1), opened lazily and closed by the
+// thread_local destructor. Counting is per-thread, so worker contributions
+// are attributed exactly — the "ThreadPool accounting" half of the design.
+std::atomic<int> g_hw_state{0};
+
+#if defined(__linux__)
+
+constexpr uint64_t kHwEventConfigs[kNumHwEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+struct ThreadPerfGroup {
+  int fds[kNumHwEvents] = {-1, -1, -1, -1, -1};
+  bool tried = false;
+  bool open = false;
+
+  ~ThreadPerfGroup() { CloseAll(); }
+
+  void CloseAll() {
+    for (int& fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    open = false;
+  }
+
+  // Opens the grouped counter set for this thread. Any failure closes
+  // everything and reports false.
+  bool Open() {
+    tried = true;
+    perf_event_attr attr;
+    for (int e = 0; e < kNumHwEvents; ++e) {
+      std::memset(&attr, 0, sizeof(attr));
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.size = sizeof(attr);
+      attr.config = kHwEventConfigs[e];
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      attr.disabled = (e == 0) ? 1 : 0;  // Group starts with the leader.
+      attr.exclude_kernel = 1;           // Works at perf_event_paranoid<=2.
+      attr.exclude_hv = 1;
+      const int group_fd = (e == 0) ? -1 : fds[0];
+      const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                              /*cpu=*/-1, group_fd, /*flags=*/0UL);
+      if (fd < 0) {
+        CloseAll();
+        return false;
+      }
+      fds[e] = static_cast<int>(fd);
+    }
+    if (ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      CloseAll();
+      return false;
+    }
+    open = true;
+    return true;
+  }
+
+  // One read() returns the whole group:
+  //   u64 nr; u64 time_enabled; u64 time_running; u64 values[nr];
+  bool Read(HwReading* out) {
+    if (!open) return false;
+    uint64_t buffer[3 + kNumHwEvents];
+    const ssize_t n = read(fds[0], buffer, sizeof(buffer));
+    if (n != static_cast<ssize_t>(sizeof(buffer)) ||
+        buffer[0] != static_cast<uint64_t>(kNumHwEvents)) {
+      return false;
+    }
+    out->time_enabled = buffer[1];
+    out->time_running = buffer[2];
+    for (int e = 0; e < kNumHwEvents; ++e) out->raw[e] = buffer[3 + e];
+    out->valid = true;
+    return true;
+  }
+};
+
+ThreadPerfGroup& ThisThreadGroup() {
+  thread_local ThreadPerfGroup group;
+  return group;
+}
+
+// Resolves process-wide availability (first caller tries an open).
+bool HwAvailable() {
+  int state = g_hw_state.load(std::memory_order_acquire);
+  if (state == 0) {
+    const char* disable = std::getenv("ALEM_PROFILE_DISABLE_HW");
+    if (disable != nullptr && disable[0] != '\0' &&
+        !(disable[0] == '0' && disable[1] == '\0')) {
+      state = 2;
+    } else {
+      ThreadPerfGroup& group = ThisThreadGroup();
+      state = group.Open() ? 1 : 2;
+    }
+    g_hw_state.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+#else  // !__linux__
+
+bool HwAvailable() {
+  g_hw_state.store(2, std::memory_order_release);
+  return false;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+Region& GetRegion(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return GetRegionLocked(registry, name);
+}
+
+Region* ActiveRegion(std::string_view name) {
+  if (!Enabled()) return nullptr;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  Region* region = FindLocked(registry, name);
+  if (region == nullptr || !region->active.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return region;
+}
+
+void Enable(std::string_view regions_csv) {
+  std::vector<std::string> names =
+      SplitCsv(regions_csv.empty() ? kDefaultRegions : regions_csv);
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (Region* region : registry.regions) {
+    region->active.store(false, std::memory_order_relaxed);
+    ResetRegionLocked(*region);
+  }
+  registry.enabled_order.clear();
+  for (const std::string& name : names) {
+    Region& region = GetRegionLocked(registry, name);
+    ResetRegionLocked(region);
+    if (std::find(registry.enabled_order.begin(),
+                  registry.enabled_order.end(),
+                  &region) != registry.enabled_order.end()) {
+      continue;  // Duplicate name in the CSV.
+    }
+    registry.enabled_order.push_back(&region);
+    region.active.store(true, std::memory_order_relaxed);
+    // One cumulative Chrome-trace counter series per profiled region,
+    // sampled by the telemetry thread (obs/telemetry.h). Probes are
+    // process-lifetime, so register each region's at most once.
+    if (std::find(registry.probed.begin(), registry.probed.end(), &region) ==
+        registry.probed.end()) {
+      registry.probed.push_back(&region);
+      RegisterTelemetryProbe(
+          "telemetry.profile." + region.name + ".items", [&region] {
+            return static_cast<double>(
+                region.items.load(std::memory_order_relaxed));
+          });
+    }
+  }
+  detail::g_profile_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() {
+  detail::g_profile_enabled.store(false, std::memory_order_release);
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (Region* region : registry.regions) {
+    region->active.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ResetStats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (Region* region : registry.regions) ResetRegionLocked(*region);
+}
+
+std::vector<std::string> EnabledRegions() {
+  std::vector<std::string> names;
+  if (!Enabled()) return names;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  names.reserve(registry.enabled_order.size());
+  for (const Region* region : registry.enabled_order) {
+    names.push_back(region->name);
+  }
+  return names;
+}
+
+std::string_view HwAvailability() {
+  switch (g_hw_state.load(std::memory_order_acquire)) {
+    case 1:
+      return "available";
+    case 2:
+      return "unavailable";
+    default:
+      return "untried";
+  }
+}
+
+HwReading ReadHw() {
+  HwReading reading;
+#if defined(__linux__)
+  if (!HwAvailable()) return reading;
+  ThreadPerfGroup& group = ThisThreadGroup();
+  if (!group.open && !group.tried) group.Open();
+  group.Read(&reading);
+#endif
+  return reading;
+}
+
+void AccumulateHwDelta(Region* region, const HwReading& start,
+                       const HwReading& end) {
+  if (region == nullptr || !start.valid || !end.valid) return;
+  // Scale the raw deltas by the multiplexing ratio over this window, the
+  // standard enabled/running correction for grouped counters that shared
+  // the PMU with other groups.
+  double scale = 1.0;
+  if (end.time_running > start.time_running) {
+    scale = static_cast<double>(end.time_enabled - start.time_enabled) /
+            static_cast<double>(end.time_running - start.time_running);
+  }
+  for (int e = 0; e < kNumHwEvents; ++e) {
+    if (end.raw[e] <= start.raw[e]) continue;
+    const double delta =
+        static_cast<double>(end.raw[e] - start.raw[e]) * scale;
+    region->hw[e].fetch_add(static_cast<uint64_t>(delta),
+                            std::memory_order_relaxed);
+  }
+}
+
+// ---- ScopedWork / ScopedHwSample ---------------------------------------
+
+ScopedWork::ScopedWork(Region& region) {
+  if (!region.active.load(std::memory_order_relaxed)) return;
+  region_ = &region;
+  start_ns_ = MonotonicNanos();
+  hw_start_ = ReadHw();
+}
+
+ScopedWork::~ScopedWork() {
+  if (region_ == nullptr) return;
+  const uint64_t duration = MonotonicNanos() - start_ns_;
+  AccumulateHwDelta(region_, hw_start_, ReadHw());
+  region_->nanos.fetch_add(duration, std::memory_order_relaxed);
+  region_->spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedHwSample::ScopedHwSample(Region* region) {
+  if (region == nullptr || !region->active.load(std::memory_order_relaxed)) {
+    return;
+  }
+  region_ = region;
+  hw_start_ = ReadHw();
+}
+
+ScopedHwSample::~ScopedHwSample() {
+  if (region_ == nullptr) return;
+  AccumulateHwDelta(region_, hw_start_, ReadHw());
+}
+
+// ---- ObsSpan hooks -----------------------------------------------------
+//
+// Spans are RAII, so open/close pairs are strictly LIFO per thread; a
+// small thread_local frame stack carries the HW reading from SpanOpen to
+// the matching SpanClose. ObsSpan only calls SpanClose when SpanOpen
+// returned true (its profiled_ flag), so the stack never underflows.
+
+namespace {
+
+struct SpanFrame {
+  Region* region;
+  HwReading hw_start;
+};
+
+std::vector<SpanFrame>& ThisThreadFrames() {
+  thread_local std::vector<SpanFrame> frames;
+  return frames;
+}
+
+}  // namespace
+
+bool SpanOpen(std::string_view name) {
+  Region* region = ActiveRegion(name);
+  if (region == nullptr) return false;
+  ThisThreadFrames().push_back(SpanFrame{region, ReadHw()});
+  return true;
+}
+
+void SpanClose(std::string_view name, uint64_t duration_ns) {
+  std::vector<SpanFrame>& frames = ThisThreadFrames();
+  if (frames.empty()) return;  // Defensive; cannot happen via ObsSpan.
+  SpanFrame frame = frames.back();
+  frames.pop_back();
+  if (frame.region->name != name) return;  // Defensive mismatch guard.
+  AccumulateHwDelta(frame.region, frame.hw_start, ReadHw());
+  frame.region->nanos.fetch_add(duration_ns, std::memory_order_relaxed);
+  frame.region->spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---- Snapshot ----------------------------------------------------------
+
+Snapshot TakeSnapshot() {
+  Snapshot snapshot;
+  snapshot.hw = HwAvailability() == "available" ? "available" : "unavailable";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  snapshot.regions.reserve(registry.enabled_order.size());
+  for (const Region* region : registry.enabled_order) {
+    RegionSnapshot out;
+    out.name = region->name;
+    out.spans = region->spans.load(std::memory_order_relaxed);
+    out.seconds =
+        static_cast<double>(region->nanos.load(std::memory_order_relaxed)) /
+        1e9;
+    out.items = region->items.load(std::memory_order_relaxed);
+    out.bytes = region->bytes.load(std::memory_order_relaxed);
+    out.flops = region->flops.load(std::memory_order_relaxed);
+    for (int e = 0; e < kNumHwEvents; ++e) {
+      out.hw[e] = region->hw[e].load(std::memory_order_relaxed);
+    }
+    snapshot.regions.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+}  // namespace profile
+}  // namespace obs
+}  // namespace alem

@@ -1,0 +1,226 @@
+// Per-region hardware-counter profiling and work/throughput accounting —
+// the "roofline" layer (docs/observability.md, "Profiling").
+//
+// Two halves, combined per named region:
+//
+//  (a) Hardware counters. On Linux, a grouped perf_event_open set (cycles,
+//      instructions, cache references/misses, branch misses) is opened per
+//      thread and read around each profiled region, so the report can show
+//      IPC and miss rates. Worker threads contribute through the hook in
+//      parallel::ParallelFor, so parallel regions attribute correctly.
+//      Graceful degradation is part of the contract: when perf_event_open
+//      is unavailable (containers, perf_event_paranoid, non-Linux, or
+//      ALEM_PROFILE_DISABLE_HW=1) the HW half silently disables and
+//      HwAvailability() reports "unavailable" — everything else keeps
+//      working.
+//  (b) Work counters. Code that already knows its workload reports it:
+//      SimilarityFunction::EvaluateBatch adds pairs and bytes, the batch
+//      learners add rows, bytes, and closed-form FLOPs, blocking adds
+//      candidate pairs. Dividing by the region's accumulated wall seconds
+//      yields pairs/s, GB/s, and FLOP/s per region.
+//
+// Profiling is opt-in (--profile-regions / ALEM_PROFILE_REGIONS) against a
+// region allowlist, defaulting to the curated hot set in kDefaultRegions.
+// When disabled, every instrumentation site costs one relaxed atomic load
+// and a predicted branch: no clocks, no syscalls, no metric writes — the
+// golden-baseline replays at --counter-tol=0 are unaffected.
+//
+// Region wall time comes from two sources that never overlap:
+//   * ScopedWork at the batch call sites ("sim.batch", "ml.batch") — these
+//     run on the calling thread even when ParallelFor fans the body out,
+//     so the scope covers the whole batch including the fan-out wait;
+//   * the ObsSpan hooks (SpanOpen/SpanClose) for pure span regions
+//     ("selector.scoring", "harness.featurize", "loop.evaluate").
+// Pool workers add only HW deltas (ScopedHwSample), never seconds, so a
+// region's throughput is always work / caller-observed wall time.
+
+#ifndef ALEM_OBS_PROFILE_H_
+#define ALEM_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alem {
+namespace obs {
+namespace profile {
+
+// Number of hardware events in the perf group, in HwEvent order.
+inline constexpr int kNumHwEvents = 5;
+enum HwEvent {
+  kCycles = 0,
+  kInstructions = 1,
+  kCacheReferences = 2,
+  kCacheMisses = 3,
+  kBranchMisses = 4,
+};
+
+// The curated hot set used when --profile-regions / ALEM_PROFILE_REGIONS is
+// given without a value.
+inline constexpr std::string_view kDefaultRegions =
+    "sim.batch,ml.batch,selector.scoring,harness.featurize,loop.evaluate";
+
+namespace detail {
+extern std::atomic<bool> g_profile_enabled;
+}  // namespace detail
+
+// One profiled region's accumulators. Stable address for the process
+// lifetime (the registry leaks its nodes), so call sites may cache the
+// reference in a function-local static. All fields are plain atomics so
+// pool workers and the caller thread accumulate without locks.
+struct Region {
+  explicit Region(std::string name) : name(std::move(name)) {}
+  const std::string name;
+  // True iff profiling is enabled AND this region is on the allowlist —
+  // the single fast-path gate every instrumentation site checks.
+  std::atomic<bool> active{false};
+  std::atomic<uint64_t> spans{0};  // Completed ScopedWork / span closures.
+  std::atomic<uint64_t> nanos{0};  // Caller-observed wall time.
+  std::atomic<uint64_t> items{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> flops{0};
+  std::atomic<uint64_t> hw[kNumHwEvents] = {};
+};
+
+// Returns the stable accumulator for `name`, creating it inactive on first
+// use. Never returns null; never invalidated.
+Region& GetRegion(std::string_view name);
+
+// Returns &GetRegion(name) when that region is currently being profiled,
+// nullptr otherwise (including whenever profiling is globally off) —
+// without creating regions as a side effect.
+Region* ActiveRegion(std::string_view name);
+
+// True when profiling is on (some allowlist is active).
+inline bool Enabled() {
+  return detail::g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+// Turns profiling on for the comma-separated region list (whitespace
+// ignored; empty string selects kDefaultRegions), clearing any previously
+// accumulated stats. Hardware-counter availability is resolved lazily on
+// the first region entered per thread.
+void Enable(std::string_view regions_csv);
+
+// Turns profiling off and deactivates every region. Accumulated stats are
+// kept until the next Enable() so reports built after the run still see
+// them.
+void Disable();
+
+// Zeroes every region's accumulators (test isolation).
+void ResetStats();
+
+// Region names currently allowlisted, in Enable() order; empty when off.
+std::vector<std::string> EnabledRegions();
+
+// "available" once any thread has successfully opened its perf group,
+// "unavailable" once an open has failed (or ALEM_PROFILE_DISABLE_HW=1, or
+// non-Linux), "untried" before either. Stamped into the report's
+// profile.hw field (where "untried" degrades to "unavailable": no region
+// was ever entered, so no counters exist either way).
+std::string_view HwAvailability();
+
+// Raw grouped-counter reading plus the enable/run times needed to scale
+// multiplexed deltas. valid=false when this thread has no working group.
+struct HwReading {
+  bool valid = false;
+  uint64_t time_enabled = 0;
+  uint64_t time_running = 0;
+  uint64_t raw[kNumHwEvents] = {};
+};
+
+// Reads this thread's perf group (opening it on first use). Returns a
+// reading with valid=false when hardware counters are unavailable.
+HwReading ReadHw();
+
+// Accumulates the scaled delta end-start into region->hw. No-op when
+// either reading is invalid or region is null.
+void AccumulateHwDelta(Region* region, const HwReading& start,
+                       const HwReading& end);
+
+// Adds explicit work to a region. The caller is expected to have checked
+// region.active (or hold a ScopedWork); adding to an inactive region is
+// harmless but wasted.
+inline void AddWork(Region& region, uint64_t items, uint64_t bytes = 0,
+                    uint64_t flops = 0) {
+  if (items) region.items.fetch_add(items, std::memory_order_relaxed);
+  if (bytes) region.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (flops) region.flops.fetch_add(flops, std::memory_order_relaxed);
+}
+
+// RAII wall-time + caller-thread HW sample + work for one region entry.
+// Constructed against the cached Region& of a batch call site; engages
+// only while that region is actively profiled, otherwise every member is a
+// no-op after one relaxed load.
+class ScopedWork {
+ public:
+  explicit ScopedWork(Region& region);
+  ~ScopedWork();
+
+  ScopedWork(const ScopedWork&) = delete;
+  ScopedWork& operator=(const ScopedWork&) = delete;
+
+  bool engaged() const { return region_ != nullptr; }
+
+  void Add(uint64_t items, uint64_t bytes = 0, uint64_t flops = 0) {
+    if (region_ != nullptr) AddWork(*region_, items, bytes, flops);
+  }
+
+ private:
+  Region* region_ = nullptr;
+  uint64_t start_ns_ = 0;
+  HwReading hw_start_;
+};
+
+// RAII HW-only sampler for pool worker chunks: adds this worker thread's
+// counter deltas to the region resolved by ParallelFor before the fan-out,
+// without touching the region's wall time (the submitting thread's
+// ScopedWork / span already covers it). Null region = no-op.
+class ScopedHwSample {
+ public:
+  explicit ScopedHwSample(Region* region);
+  ~ScopedHwSample();
+
+  ScopedHwSample(const ScopedHwSample&) = delete;
+  ScopedHwSample& operator=(const ScopedHwSample&) = delete;
+
+ private:
+  Region* region_ = nullptr;
+  HwReading hw_start_;
+};
+
+// ObsSpan integration (obs.cc). SpanOpen pushes a per-thread frame (HW
+// reading) when `name` is an actively profiled region and returns true so
+// the span marks itself profiled; SpanClose pops the frame and accumulates
+// duration + HW delta. Frames are strictly LIFO per thread because spans
+// are RAII.
+bool SpanOpen(std::string_view name);
+void SpanClose(std::string_view name, uint64_t duration_ns);
+
+// Snapshot for report stamping and tests. Regions appear in allowlist
+// order; regions never entered still appear (zero counters) so a profiled
+// run always reports every allowlisted region.
+struct RegionSnapshot {
+  std::string name;
+  uint64_t spans = 0;
+  double seconds = 0.0;
+  uint64_t items = 0;
+  uint64_t bytes = 0;
+  uint64_t flops = 0;
+  uint64_t hw[kNumHwEvents] = {};
+};
+
+struct Snapshot {
+  std::string hw;  // "available" or "unavailable".
+  std::vector<RegionSnapshot> regions;
+};
+
+Snapshot TakeSnapshot();
+
+}  // namespace profile
+}  // namespace obs
+}  // namespace alem
+
+#endif  // ALEM_OBS_PROFILE_H_

@@ -641,6 +641,22 @@ TEST_F(ObsTest, HistogramBoundsFixedByFirstRegistration) {
   EXPECT_DOUBLE_EQ(second.bounds()[0], 1.0);
 }
 
+// getrusage reports ru_maxrss in KiB on Linux but bytes on macOS; the
+// normalization lives in exactly one place and must produce bytes on every
+// platform (a 3 GiB process must never read as 3 MiB, nor 8 MiB as 8 GiB).
+TEST(PeakRssTest, RuMaxRssNormalizesToBytesPerPlatform) {
+#if defined(__APPLE__)
+  EXPECT_EQ(detail::RuMaxRssToBytes(8 * 1024 * 1024), 8u * 1024 * 1024);
+#else
+  EXPECT_EQ(detail::RuMaxRssToBytes(8 * 1024), 8u * 1024 * 1024);
+#endif
+  EXPECT_EQ(detail::RuMaxRssToBytes(0), 0u);
+  EXPECT_EQ(detail::RuMaxRssToBytes(-1), 0u);
+  // Whatever source PeakRssBytes used, a running test binary is at least
+  // 1 MiB resident — a KiB-vs-bytes mixup would fail this on one side.
+  EXPECT_GE(PeakRssBytes(), 1024u * 1024u);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace alem

@@ -15,7 +15,7 @@
 //       [--threads=N] [--cache-dir=DIR] [--no-cache]
 //       [--kernel-backend=auto|scalar|avx2]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
-//       [--report=PATH.json] [--telemetry-hz=HZ]
+//       [--report=PATH.json] [--telemetry-hz=HZ] [--profile-regions[=CSV]]
 //       Runs one active-learning experiment and prints the learning curve.
 //       --threads sets the worker count for committee fits / example
 //       scoring / forest fits / batch predict (default: ALEM_THREADS env
@@ -38,9 +38,17 @@
 //       background telemetry sampler at HZ samples/second (implies tracing
 //       + metrics): RSS, cache traffic, predict calls, and pool occupancy
 //       become Chrome-trace counter events so Perfetto shows resource
-//       curves over the run. Absent path flags fall back to the
-//       ALEM_TRACE_DIR / ALEM_REPORT_DIR / ALEM_TELEMETRY_HZ environment
-//       knobs, same as the bench binaries (see docs/observability.md).
+//       curves over the run. --profile-regions turns on the roofline
+//       profiling layer (hardware counters via perf_event_open where the
+//       kernel permits, plus explicit work counters) for the given
+//       comma-separated region allowlist — an empty value selects the
+//       curated hot set (sim.batch, ml.batch, selector.scoring,
+//       harness.featurize, loop.evaluate); the derived throughput and IPC
+//       land in the report's "profile" section (docs/observability.md).
+//       Absent path flags fall back to the ALEM_TRACE_DIR /
+//       ALEM_REPORT_DIR / ALEM_TELEMETRY_HZ / ALEM_PROFILE_REGIONS
+//       environment knobs, same as the bench binaries (see
+//       docs/observability.md).
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on

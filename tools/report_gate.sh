@@ -36,6 +36,13 @@
 #      bitwise (--exact-curve --counter-tol=0) while stamping its name
 #      into config.kernel_backend — the end-to-end counterpart of the
 #      kernels-labeled ctest matrix (docs/kernels.md).
+#   8. Roofline profile: a --profile-regions run must replay the golden
+#      baseline bitwise (profiling must not perturb results), emit a
+#      schema-valid "profile" section whose work counters satisfy the
+#      cross-layer invariants (sim.batch items == sim.calls, ml.batch
+#      items == ml.predict_calls), stamp profile.hw as available or
+#      unavailable, and aggregate into the BENCH trajectory
+#      (docs/observability.md, "Profiling").
 set -eu
 
 build_dir="${1:-build}"
@@ -71,14 +78,14 @@ run_cli() {
       "$@" > /dev/null
 }
 
-echo "[1/7] determinism: cold cached t1 curve == uncached t4 curve"
+echo "[1/8] determinism: cold cached t1 curve == uncached t4 curve"
 mkdir -p "$work/cache"
 run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
 run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/7] cache warmth: warm rerun identical, provenance says hit"
+echo "[2/8] cache warmth: warm rerun identical, provenance says hit"
 run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
 "$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
     --exact-curve
@@ -98,7 +105,7 @@ assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
 assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
 EOF
 
-echo "[3/7] quality: three golden workloads within tolerance, counters exact"
+echo "[3/8] quality: three golden workloads within tolerance, counters exact"
 for approach in linear-margin trees5 linear-qbc4; do
   name="$(printf '%s' "$approach" | tr '-' '_')"
   candidate="$work/cand_$name.report.json"
@@ -113,7 +120,7 @@ for approach in linear-margin trees5 linear-qbc4; do
       --counter-tol=0
 done
 
-echo "[4/7] sensitivity: perturbed baseline must fail the check"
+echo "[4/8] sensitivity: perturbed baseline must fail the check"
 python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
     "$work/perturbed.json" <<'EOF'
 import json, sys
@@ -133,7 +140,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[5/7] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/8] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
@@ -149,7 +156,7 @@ assert agg["kind"] == "aggregate", agg.get("kind")
 assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
 EOF
 
-echo "[6/7] tail latency: telemetry run, pool invariant, p95 determinism"
+echo "[6/8] tail latency: telemetry run, pool invariant, p95 determinism"
 run_cli linear-margin 4 "$work/lat4.report.json" --no-cache \
     --telemetry-hz=50 --trace="$work/lat4.trace.json" \
     --metrics="$work/lat4.metrics.csv"
@@ -196,7 +203,7 @@ if "$report_tool" check "$work/lat_perturbed.json" "$work/lat4.report.json" \
 fi
 echo "perturbed latency baseline rejected as expected"
 
-echo "[7/7] kernel backends: scalar golden replay, per-backend equivalence"
+echo "[7/8] kernel backends: scalar golden replay, per-backend equivalence"
 # Scalar-forced cold runs must replay all three committed baselines with
 # every counter exact — pins the scalar reference path end to end.
 for approach in linear-margin trees5 linear-qbc4; do
@@ -235,6 +242,69 @@ with open(sys.argv[1]) as f:
 stamped = report["config"].get("kernel_backend")
 assert stamped == "scalar", (
     f"config.kernel_backend is {stamped!r}, expected 'scalar'")
+EOF
+
+echo "[8/8] roofline profile: bitwise replay, work-counter invariants"
+# A profiled cold run (default curated region set) must not perturb the
+# workload: the curve and every counter must replay the golden baseline
+# exactly, even while HW counters and work accounting are live.
+mkdir -p "$work/cache_profile"
+run_cli linear-margin 1 "$work/profiled.report.json" \
+    --cache-dir="$work/cache_profile" --profile-regions=
+"$report_tool" check \
+    "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
+    "$work/profiled.report.json" --exact-curve --counter-tol=0
+# Schema + self-consistency of the emitted profile section.
+python3 "$repo_root/tools/trace_summary.py" --check \
+    --report "$work/profiled.report.json"
+# Cross-layer work-counter invariants: the profile layer and the metric
+# registry count the same events through independent code paths.
+python3 - "$work/profiled.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+profile = report.get("profile")
+assert profile, "profiled run emitted no profile section"
+assert profile["hw"] in ("available", "unavailable"), profile["hw"]
+regions = {r["name"]: r for r in profile["regions"]}
+expected = ("sim.batch", "ml.batch", "selector.scoring",
+            "harness.featurize", "loop.evaluate")
+missing = [name for name in expected if name not in regions]
+assert not missing, f"default regions missing from profile: {missing}"
+counters = report["counters"]
+sim = regions["sim.batch"]
+assert sim["items"] == counters["sim.calls"], (
+    f"sim.batch items {sim['items']} != sim.calls {counters['sim.calls']}")
+ml = regions["ml.batch"]
+assert ml["items"] == counters["ml.predict_calls"], (
+    f"ml.batch items {ml['items']} != ml.predict_calls "
+    f"{counters['ml.predict_calls']}")
+for name in ("sim.batch", "ml.batch"):
+    region = regions[name]
+    assert region["spans"] > 0, f"{name}: no spans recorded"
+    assert region["seconds"] > 0, f"{name}: no wall time recorded"
+    assert region["items_per_sec"] > 0, f"{name}: no throughput derived"
+print(f"profile OK: hw={profile['hw']}, "
+      f"sim.batch {sim['items_per_sec']:.3g} pairs/s, "
+      f"ml.batch {ml['items_per_sec']:.3g} rows/s")
+EOF
+# The profiled report must fold into the aggregate trajectory with its
+# per-region throughput summaries intact.
+mkdir -p "$work/profile_reports"
+cp "$work/profiled.report.json" \
+    "$work/profile_reports/profiled.report.json"
+(cd "$work" && "$report_tool" aggregate profile_reports \
+    --out=BENCH_profile_gate.json)
+python3 - "$work/BENCH_profile_gate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+entry = agg["reports"][0]
+profile = entry.get("profile")
+assert profile, "aggregate dropped the profile section"
+names = {r["name"] for r in profile["regions"]}
+assert {"sim.batch", "ml.batch"} <= names, names
+assert all(r["items_per_sec"] >= 0 for r in profile["regions"])
 EOF
 
 echo "report gate OK"
