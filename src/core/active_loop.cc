@@ -2,17 +2,16 @@
 
 #include <algorithm>
 
-#include "obs/obs.h"
-#include "obs/profile.h"
+#include "core/session.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace alem {
 
-size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
-                uint64_t seed) {
+SeedResult SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
+                    uint64_t seed) {
   Rng rng(seed);
-  size_t labeled = 0;
+  SeedResult result;
   bool has_positive = false;
   bool has_negative = false;
 
@@ -28,7 +27,7 @@ size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
     for (const size_t row : rows) {
       const int label = oracle.Label(row);
       pool.AddLabel(row, label);
-      ++labeled;
+      ++result.labeled;
       (label == 1 ? has_positive : has_negative) = true;
     }
   };
@@ -36,14 +35,14 @@ size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
   label_random_batch(seed_size);
   // Both classes are required to train any of the learners. Under heavy
   // class skew a 30-example seed occasionally misses the minority class;
-  // keep labeling small random batches until it shows up.
-  int extra_rounds = 0;
-  while ((!has_positive || !has_negative) && extra_rounds < 50 &&
-         !pool.unlabeled_rows().empty()) {
+  // keep labeling small random batches until it shows up. Pool exhaustion
+  // bounds the retry — a single-class pool terminates with the whole pool
+  // labeled and has_both_classes = false, never an unbounded spin.
+  while ((!has_positive || !has_negative) && !pool.unlabeled_rows().empty()) {
     label_random_batch(10);
-    ++extra_rounds;
   }
-  return labeled;
+  result.has_both_classes = has_positive && has_negative;
+  return result;
 }
 
 void CollectInterpretability(const Learner& learner, IterationStats* stats) {
@@ -70,122 +69,25 @@ ActiveLearningLoop::ActiveLearningLoop(Learner& learner,
 }
 
 std::vector<IterationStats> ActiveLearningLoop::Run(ActivePool& pool) {
-  obs::ObsSpan run_span("loop.run", "core");
-  static obs::Counter& iteration_counter =
-      obs::MetricsRegistry::Global().GetCounter("loop.iterations");
-  static obs::Gauge& labels_gauge =
-      obs::MetricsRegistry::Global().GetGauge("loop.labels_used");
-  static obs::Histogram& wait_histogram =
-      obs::MetricsRegistry::Global().GetHistogram(
-          "loop.wait_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0});
-
-  std::vector<IterationStats> curve;
-  {
-    obs::ObsSpan seed_span("loop.seed", "core");
-    SeedPool(pool, oracle_, config_.seed_size, config_.seed);
+  LabelingSession session(learner_, selector_, oracle_, evaluator_, pool,
+                          config_);
+  while (!session.finished()) {
+    switch (session.state()) {
+      case SessionState::kNeedsStep:
+        ALEM_CHECK(session.Step());
+        break;
+      case SessionState::kBatchReady:
+        session.NextBatch();
+        break;
+      case SessionState::kAwaitingLabels:
+        ALEM_CHECK(session.SubmitLabels());
+        break;
+      default:
+        ALEM_CHECK(false);  // kFinished/kFailed are handled by the loop guard.
+    }
   }
-
-  std::vector<int> previous_predictions;
-  size_t stable_iterations = 0;
-  for (size_t iteration = 1;; ++iteration) {
-    obs::ObsSpan iteration_span("loop.iteration", "core");
-    iteration_counter.Increment();
-    IterationStats stats;
-    stats.iteration = iteration;
-    stats.labels_used = pool.num_labeled();
-
-    // 1. Train on the cumulative labeled data.
-    {
-      obs::ObsSpan train_span("loop.train", "core");
-      learner_.Fit(pool.ActiveLabeledFeatures(), pool.ActiveLabeledLabels());
-      stats.train_seconds = train_span.Close();
-    }
-
-    // 2. Evaluate. Excluded from user wait time: the paper's wait metric
-    // only counts work between the user's label submissions.
-    {
-      obs::ObsSpan evaluate_span("loop.evaluate", "core");
-      const std::vector<size_t>& eval_rows = evaluator_.eval_rows();
-      // Roofline items: one per evaluated row (obs/profile.h).
-      if (obs::profile::Region* profiled =
-              obs::profile::ActiveRegion("loop.evaluate")) {
-        obs::profile::AddWork(*profiled, eval_rows.size());
-      }
-      std::vector<int> predictions(eval_rows.size());
-      // One batched sweep through the learner's vector kernel (the fan-out
-      // runs under "ml.batch" inside this evaluate span).
-      learner_.PredictBatch(pool.features(), eval_rows, predictions.data());
-      stats.metrics = evaluator_.Evaluate(predictions);
-      CollectInterpretability(learner_, &stats);
-
-      // Plateau detection: count consecutive iterations whose predictions
-      // are identical to the previous iteration's.
-      if (config_.plateau_window > 0) {
-        if (predictions == previous_predictions) {
-          ++stable_iterations;
-        } else {
-          stable_iterations = 0;
-        }
-        previous_predictions = std::move(predictions);
-      }
-      stats.evaluate_seconds = evaluate_span.Close();
-    }
-
-    // 3. Select the next batch.
-    const bool plateaued = config_.plateau_window > 0 &&
-                           stable_iterations >= config_.plateau_window;
-    const bool budget_exhausted =
-        pool.num_labeled() + config_.batch_size > config_.max_labels &&
-        pool.num_labeled() >= config_.max_labels;
-    const bool target_reached =
-        config_.target_f1 > 0.0 && stats.metrics.f1 >= config_.target_f1;
-    std::vector<size_t> batch;
-    {
-      obs::ObsSpan select_span("loop.select", "core");
-      if (!budget_exhausted && !target_reached && !plateaued &&
-          !pool.unlabeled_rows().empty()) {
-        SelectionTiming timing;
-        const size_t remaining_budget =
-            config_.max_labels > pool.num_labeled()
-                ? config_.max_labels - pool.num_labeled()
-                : 0;
-        batch = selector_.Select(
-            learner_, pool, std::min(config_.batch_size, remaining_budget),
-            &timing);
-        stats.committee_seconds = timing.committee_seconds;
-        stats.scoring_seconds = timing.scoring_seconds;
-        stats.scored_examples = timing.scored_examples;
-        stats.pruned_examples = timing.pruned_examples;
-      }
-      stats.select_seconds = select_span.Close();
-    }
-
-    // 4. Query the Oracle and grow the training set (a no-op span on the
-    // terminating iteration). Label time is the user's own and excluded
-    // from wait time.
-    {
-      obs::ObsSpan label_span("loop.label", "core");
-      for (const size_t row : batch) {
-        pool.AddLabel(row, oracle_.Label(row));
-      }
-      stats.label_seconds = label_span.Close();
-    }
-
-    // User wait time is the sum of the measured phase spans (train +
-    // select); summing spans rather than re-reading a restarted wall clock
-    // keeps evaluator time out of it (paper §6, Fig. 13).
-    stats.wait_seconds = stats.train_seconds + stats.select_seconds;
-    wait_histogram.Observe(stats.wait_seconds);
-    labels_gauge.Set(static_cast<double>(pool.num_labeled()));
-    curve.push_back(stats);
-
-    if (batch.empty()) break;  // Termination: budget, target, or selector.
-  }
-  // High-water-mark memory at the end of the run, for the flight recorder.
-  static obs::Gauge& peak_rss_gauge =
-      obs::MetricsRegistry::Global().GetGauge("process.peak_rss_bytes");
-  peak_rss_gauge.Set(static_cast<double>(obs::PeakRssBytes()));
-  return curve;
+  ALEM_CHECK(session.state() == SessionState::kFinished);
+  return std::move(session).TakeCurve();
 }
 
 }  // namespace alem

@@ -24,7 +24,12 @@
 
 namespace alem {
 
-struct ActiveLearningConfig {
+// The label-budget knobs shared by every driver of the loop: the harness's
+// RunConfig and the loop's ActiveLearningConfig both inherit this one struct
+// (they used to duplicate the four fields, which invited drift), and the
+// session snapshot serializes exactly these. budget() gives copy-across
+// assignment between the two configs without naming each field.
+struct LoopBudget {
   // Initial random labeled seed (the paper uses ~30).
   size_t seed_size = 30;
   // Examples labeled per iteration (the paper uses 10).
@@ -34,6 +39,12 @@ struct ActiveLearningConfig {
   // Early stop once progressive F1 reaches this value; 0 disables. The
   // paper stops perfect-oracle runs when an approach nears F1 = 1.0.
   double target_f1 = 0.0;
+
+  LoopBudget& budget() { return *this; }
+  const LoopBudget& budget() const { return *this; }
+};
+
+struct ActiveLearningConfig : LoopBudget {
   // Seed for the initial sample (selectors carry their own RNGs).
   uint64_t seed = 1;
   // Ground-truth-free termination: stop once the model's predictions over
@@ -78,15 +89,32 @@ struct IterationStats {
   size_t ensemble_size = 0;
 };
 
+struct SeedResult {
+  // #examples labeled while seeding (counts toward the budget).
+  size_t labeled = 0;
+  // False when the pool ran out of unlabeled examples before both classes
+  // appeared. Callers that need a trainable seed should surface this as a
+  // diagnosable condition (a single-class pool, e.g. an all-negative
+  // candidate set, makes every learner degenerate).
+  bool has_both_classes = false;
+};
+
 // Labels a random seed batch, retrying with extra random examples until both
-// classes are present (a learner cannot be trained otherwise). Returns the
-// labeled count.
-size_t SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
-                uint64_t seed);
+// classes are present (a learner cannot be trained otherwise). Retrying is
+// bounded by pool exhaustion: on a single-class pool the loop stops when no
+// unlabeled examples remain and reports has_both_classes = false rather than
+// labeling forever.
+SeedResult SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
+                    uint64_t seed);
 
 // Collects interpretability statistics from learners that support them.
 void CollectInterpretability(const Learner& learner, IterationStats* stats);
 
+// One-shot driver over the step-wise LabelingSession (core/session.h). Run
+// seeds the pool, then drives Step / NextBatch / SubmitLabels to termination
+// — it is a thin wrapper kept for the many call sites that want the whole
+// curve in one call; code that needs to pause, snapshot, or feed labels from
+// elsewhere uses LabelingSession directly.
 class ActiveLearningLoop {
  public:
   // All references must outlive the loop. The learner is retrained in place

@@ -16,12 +16,17 @@
 #ifndef ALEM_CORE_HARNESS_H_
 #define ALEM_CORE_HARNESS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/active_loop.h"
 #include "core/approaches.h"
+#include "core/evaluator.h"
+#include "core/oracle.h"
+#include "core/pool.h"
+#include "core/session.h"
 #include "data/dataset.h"
 #include "features/boolean_features.h"
 #include "features/feature_matrix.h"
@@ -76,13 +81,11 @@ struct PrepareOptions {
 // Generates the dataset and runs the preprocessing pipeline.
 PreparedDataset PrepareDataset(const PrepareOptions& options);
 
-struct RunConfig {
+// The seed/batch/budget/target knobs live in the shared LoopBudget base
+// (core/active_loop.h), so RunConfig and ActiveLearningConfig can never
+// drift apart; `config.budget() = other.budget()` copies them across.
+struct RunConfig : LoopBudget {
   ApproachSpec approach;
-  size_t seed_size = 30;
-  size_t batch_size = 10;
-  size_t max_labels = 400;
-  // Early stop at this progressive F1 (0 disables).
-  double target_f1 = 0.0;
   // Oracle label-flip probability (0 = perfect Oracle).
   double oracle_noise = 0.0;
   // Evaluate on a held-out split instead of progressively on all pairs.
@@ -115,9 +118,93 @@ struct RunResult {
 
 inline constexpr double kConvergenceSlack = 0.005;
 
+// Fills the derived summary fields (best_f1, labels_to_converge,
+// total_wait_seconds, ensemble_accepted) from result->curve.
+void FinalizeRunResult(RunResult* result);
+
 // Runs one approach on a prepared dataset.
 RunResult RunActiveLearning(const PreparedDataset& data,
                             const RunConfig& config);
+
+// The per-run environment RunActiveLearning used to build inline: pool over
+// the approach-appropriate features, evaluation protocol, oracle, and the
+// instantiated approach. Factored out so a resumed session (which must
+// reconstruct the identical environment in a fresh process) and a fresh run
+// share one construction path — the RNG seed derivations inside are part of
+// the determinism contract (docs/sessions.md).
+struct RunEnv {
+  ActivePool pool;
+  std::unique_ptr<Evaluator> evaluator;
+  std::unique_ptr<Oracle> oracle;
+  Approach approach;
+};
+
+RunEnv BuildRunEnv(const PreparedDataset& data, const RunConfig& config);
+
+// Provenance parsed back out of a session snapshot: everything needed to
+// re-prepare the dataset and rebuild the run environment before restoring
+// the session itself (`alem_cli session resume` drives this).
+struct SessionRunInfo {
+  std::string dataset;
+  uint64_t data_seed = 7;
+  double scale = 1.0;
+  // The original prepare's feature-cache outcome ("off"/"miss"/"hit") —
+  // the stitched report's config.cache provenance.
+  std::string feature_cache = "off";
+  RunConfig config;
+};
+
+bool ReadSessionRunInfo(const SessionSnapshot& snapshot, SessionRunInfo* info,
+                        std::string* error);
+
+// Owns one non-ensemble run's environment plus its LabelingSession, and
+// layers run-level snapshotting on top of the session's: Save() adds
+// dataset provenance, the RunConfig, the ApproachSpec, and the metric
+// counter/gauge totals to the session sections; Restore() rebuilds the
+// counters (histograms restart empty — they are latency telemetry, not part
+// of the determinism contract) and the session from them. RunActiveLearning
+// is a thin wrapper over this class.
+class SessionRunner {
+ public:
+  // Fresh run: builds the environment and seeds the session. Ensemble
+  // approaches are not sessionable (ActiveEnsembleLoop owns its own loop);
+  // constructing with one aborts.
+  SessionRunner(const PreparedDataset& data, const RunConfig& config);
+
+  // Rebuilds the environment for `data`/`config` (obtained from the
+  // snapshot via ReadSessionRunInfo) and restores the session mid-run.
+  // Returns null with *error set on any mismatch or malformed section.
+  static std::unique_ptr<SessionRunner> Restore(
+      const PreparedDataset& data, const RunConfig& config,
+      const SessionSnapshot& snapshot, std::string* error);
+
+  LabelingSession& session() { return *session_; }
+  const LabelingSession& session() const { return *session_; }
+
+  // Drives the session until it finishes, or — when stop_after > 0 — until
+  // `stop_after` iterations have completed, pausing at the iteration
+  // boundary (the session is then saveable).
+  void Run(size_t stop_after = 0);
+
+  // Session sections + provenance + metrics, as one ALSS container file.
+  bool Save(const std::string& path, std::string* error) const;
+
+  // Converts the finished (or paused) session into the same RunResult
+  // RunActiveLearning returns. Consumes the curve.
+  RunResult TakeResult();
+
+ private:
+  SessionRunner(const PreparedDataset& data, const RunConfig& config,
+                bool start_session);
+
+  std::string dataset_name_;
+  uint64_t data_seed_ = 0;
+  double scale_ = 1.0;
+  std::string feature_cache_ = "off";
+  RunConfig config_;
+  RunEnv env_;
+  std::unique_ptr<LabelingSession> session_;
+};
 
 // Averages F1 curves of repeated runs (distinct run seeds), padding shorter
 // curves with their final value; used for noisy-oracle experiments. Returns

@@ -1,7 +1,9 @@
 #include "core/learner.h"
 
 #include <numeric>
+#include <utility>
 
+#include "ml/serialization.h"
 #include "obs/obs.h"
 #include "obs/profile.h"
 #include "parallel/pool.h"
@@ -138,6 +140,15 @@ void SvmLearner::set_seed(uint64_t seed) {
   model_ = LinearSvm(config);
 }
 
+std::string SvmLearner::SaveModel() const {
+  return model_.trained() ? SerializeSvm(model_) : std::string();
+}
+
+bool SvmLearner::RestoreModel(const std::string& blob) {
+  if (blob.empty()) return true;  // Untrained snapshot; nothing to install.
+  return DeserializeSvm(blob, &model_);
+}
+
 double SvmLearner::Margin(const float* x) const { return model_.Margin(x); }
 
 void SvmLearner::PredictChunkImpl(const FeatureMatrix& features,
@@ -175,6 +186,15 @@ void NeuralNetLearner::set_seed(uint64_t seed) {
   NeuralNetConfig config = model_.config();
   config.seed = seed;
   model_ = NeuralNetwork(config);
+}
+
+std::string NeuralNetLearner::SaveModel() const {
+  return model_.trained() ? SerializeNeuralNet(model_) : std::string();
+}
+
+bool NeuralNetLearner::RestoreModel(const std::string& blob) {
+  if (blob.empty()) return true;
+  return DeserializeNeuralNet(blob, &model_);
 }
 
 double NeuralNetLearner::Margin(const float* x) const {
@@ -224,6 +244,15 @@ void ForestLearner::set_seed(uint64_t seed) {
   model_ = RandomForest(config);
 }
 
+std::string ForestLearner::SaveModel() const {
+  return model_.trained() ? SerializeForest(model_) : std::string();
+}
+
+bool ForestLearner::RestoreModel(const std::string& blob) {
+  if (blob.empty()) return true;
+  return DeserializeForest(blob, &model_);
+}
+
 double ForestLearner::PositiveFraction(const float* x) const {
   return model_.PositiveFraction(x);
 }
@@ -258,6 +287,18 @@ std::unique_ptr<Learner> RuleLearner::CloneUntrained() const {
 void RuleLearner::set_seed(uint64_t seed) {
   // The greedy DNF learner is deterministic; nothing to reseed.
   (void)seed;
+}
+
+std::string RuleLearner::SaveModel() const {
+  return model_.trained() ? SerializeDnf(model_.dnf()) : std::string();
+}
+
+bool RuleLearner::RestoreModel(const std::string& blob) {
+  if (blob.empty()) return true;
+  Dnf dnf;
+  if (!DeserializeDnf(blob, &dnf)) return false;
+  model_.RestoreTrained(std::move(dnf));
+  return true;
 }
 
 }  // namespace alem

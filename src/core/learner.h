@@ -94,6 +94,14 @@ class Learner {
   // Reseeds internal randomness (committee members need distinct streams).
   virtual void set_seed(uint64_t seed) = 0;
 
+  // Serializes the trained model through ml/serialization so a labeling
+  // session snapshot can carry it across processes (docs/sessions.md).
+  // Returns an empty blob when untrained; RestoreModel accepts an empty
+  // blob as "untrained" and returns false on malformed input. The defaults
+  // cover learners without a persistent model format.
+  virtual std::string SaveModel() const { return {}; }
+  virtual bool RestoreModel(const std::string& blob) { return blob.empty(); }
+
   virtual std::string_view name() const = 0;
 
  protected:
@@ -149,6 +157,8 @@ class SvmLearner final : public MarginLearner {
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
   std::string_view name() const override { return "LinearSVM"; }
+  std::string SaveModel() const override;
+  bool RestoreModel(const std::string& blob) override;
   double Margin(const float* x) const override;
   std::vector<size_t> BlockingDimensions(size_t k) const override;
 
@@ -179,6 +189,8 @@ class NeuralNetLearner final : public MarginLearner {
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
   std::string_view name() const override { return "NeuralNet"; }
+  std::string SaveModel() const override;
+  bool RestoreModel(const std::string& blob) override;
   double Margin(const float* x) const override;
   // Blocking for non-linear classifiers (paper Section 5.2 suggestion):
   // input dimensions ranked by back-propagated absolute weight products.
@@ -214,6 +226,8 @@ class ForestLearner final : public Learner {
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
   std::string_view name() const override { return "RandomForest"; }
+  std::string SaveModel() const override;
+  bool RestoreModel(const std::string& blob) override;
 
   // Fraction of trees voting positive on x (committee agreement).
   double PositiveFraction(const float* x) const;
@@ -248,6 +262,8 @@ class RuleLearner final : public Learner {
   std::unique_ptr<Learner> CloneUntrained() const override;
   void set_seed(uint64_t seed) override;
   std::string_view name() const override { return "Rules"; }
+  std::string SaveModel() const override;
+  bool RestoreModel(const std::string& blob) override;
 
   const Dnf& dnf() const { return model_.dnf(); }
   const DnfRuleLearner& model() const { return model_; }

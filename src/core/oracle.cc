@@ -1,17 +1,85 @@
 #include "core/oracle.h"
 
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.h"
 #include "util/check.h"
 
 namespace alem {
+namespace {
+
+// Serialized noisy-oracle state: query count, RNG stream, and the sparse
+// already-queried entries of the flip cache. Line-based text so a corrupt
+// snapshot section fails parsing instead of silently misaligning.
+std::string SaveNoisyState(size_t queries, const Rng& rng,
+                           const std::vector<int8_t>& cached) {
+  std::ostringstream out;
+  out << "queries " << queries << "\n";
+  out << "rng " << rng.SaveState() << "\n";
+  size_t resolved = 0;
+  for (const int8_t entry : cached) resolved += entry >= 0 ? 1 : 0;
+  out << "cached " << resolved << "\n";
+  for (size_t row = 0; row < cached.size(); ++row) {
+    if (cached[row] >= 0) {
+      out << row << " " << static_cast<int>(cached[row]) << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool RestoreNoisyState(const std::string& state, size_t* queries, Rng* rng,
+                       std::vector<int8_t>* cached) {
+  std::istringstream in(state);
+  std::string keyword;
+  uint64_t query_count = 0;
+  if (!(in >> keyword >> query_count) || keyword != "queries") return false;
+  std::string rng_state;
+  if (!(in >> keyword) || keyword != "rng") return false;
+  // The RNG state is the rest of its line (space-separated hex words).
+  std::getline(in, rng_state);
+  Rng restored_rng(0);
+  if (!restored_rng.RestoreState(rng_state)) return false;
+  uint64_t resolved = 0;
+  if (!(in >> keyword >> resolved) || keyword != "cached") return false;
+  std::vector<int8_t> restored_cache(cached->size(), -1);
+  for (uint64_t i = 0; i < resolved; ++i) {
+    uint64_t row = 0;
+    int label = 0;
+    if (!(in >> row >> label)) return false;
+    if (row >= restored_cache.size() || (label != 0 && label != 1)) {
+      return false;
+    }
+    restored_cache[row] = static_cast<int8_t>(label);
+  }
+  *queries = static_cast<size_t>(query_count);
+  *rng = restored_rng;
+  *cached = std::move(restored_cache);
+  return true;
+}
+
+}  // namespace
 
 void Oracle::CountQuery() {
   ++queries_;
   static obs::Counter& counter =
       obs::MetricsRegistry::Global().GetCounter("oracle.queries");
   counter.Increment();
+}
+
+std::string Oracle::SaveState() const {
+  std::ostringstream out;
+  out << "queries " << queries_ << "\n";
+  return out.str();
+}
+
+bool Oracle::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  std::string keyword;
+  uint64_t query_count = 0;
+  if (!(in >> keyword >> query_count) || keyword != "queries") return false;
+  queries_ = static_cast<size_t>(query_count);
+  return true;
 }
 
 PerfectOracle::PerfectOracle(std::vector<int> truth)
@@ -42,6 +110,17 @@ int NoisyOracle::Label(size_t row) {
   return cached_[row];
 }
 
+std::string NoisyOracle::SaveState() const {
+  return SaveNoisyState(queries(), rng_, cached_);
+}
+
+bool NoisyOracle::RestoreState(const std::string& state) {
+  size_t query_count = 0;
+  if (!RestoreNoisyState(state, &query_count, &rng_, &cached_)) return false;
+  set_queries(query_count);
+  return true;
+}
+
 MajorityVoteOracle::MajorityVoteOracle(std::vector<int> truth, double noise,
                                        int num_voters, uint64_t seed)
     : truth_(std::move(truth)),
@@ -68,6 +147,17 @@ int MajorityVoteOracle::Label(size_t row) {
         static_cast<int8_t>(2 * positive_votes > num_voters_ ? 1 : 0);
   }
   return cached_[row];
+}
+
+std::string MajorityVoteOracle::SaveState() const {
+  return SaveNoisyState(queries(), rng_, cached_);
+}
+
+bool MajorityVoteOracle::RestoreState(const std::string& state) {
+  size_t query_count = 0;
+  if (!RestoreNoisyState(state, &query_count, &rng_, &cached_)) return false;
+  set_queries(query_count);
+  return true;
 }
 
 }  // namespace alem

@@ -10,6 +10,7 @@
 #define ALEM_CORE_ORACLE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
@@ -26,10 +27,20 @@ class Oracle {
   // Number of labels handed out so far.
   size_t queries() const { return queries_; }
 
+  // Serializes the oracle's mutable state (query count; for the noisy
+  // oracles also the RNG stream and the per-row flip cache), so a restored
+  // labeling session hands out the exact labels the uninterrupted run
+  // would have (docs/sessions.md). RestoreState returns false on
+  // malformed input. The base implementations cover stateless oracles.
+  virtual std::string SaveState() const;
+  virtual bool RestoreState(const std::string& state);
+
  protected:
   // Bumps both the per-instance count and the global "oracle.queries"
   // metric (defined in oracle.cc to keep obs out of this header).
   void CountQuery();
+
+  void set_queries(size_t n) { queries_ = n; }
 
  private:
   size_t queries_ = 0;
@@ -54,6 +65,9 @@ class NoisyOracle final : public Oracle {
 
   double noise() const { return noise_; }
 
+  std::string SaveState() const override;
+  bool RestoreState(const std::string& state) override;
+
  private:
   std::vector<int> truth_;
   std::vector<int8_t> cached_;  // -1 = not yet queried, else the label.
@@ -74,6 +88,9 @@ class MajorityVoteOracle final : public Oracle {
   int Label(size_t row) override;
 
   int num_voters() const { return num_voters_; }
+
+  std::string SaveState() const override;
+  bool RestoreState(const std::string& state) override;
 
  private:
   std::vector<int> truth_;

@@ -62,6 +62,16 @@ class ExampleSelector {
   // compatibility).
   virtual bool CompatibleWith(const Learner& model) const = 0;
 
+  // Serializes the selector's mutable state — for the stochastic selectors
+  // that is exactly the RNG stream position — so a restored labeling
+  // session proposes the same example sequence the uninterrupted run would
+  // have (docs/sessions.md). Stateless selectors return an empty blob;
+  // RestoreState returns false on malformed input.
+  virtual std::string SaveState() const { return {}; }
+  virtual bool RestoreState(const std::string& state) {
+    return state.empty();
+  }
+
   virtual std::string_view name() const = 0;
 };
 
@@ -74,6 +84,10 @@ class RandomSelector final : public ExampleSelector {
   std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
                              size_t k, SelectionTiming* timing) override;
   bool CompatibleWith(const Learner& model) const override;
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool RestoreState(const std::string& state) override {
+    return rng_.RestoreState(state);
+  }
   std::string_view name() const override { return "Random"; }
 
  private:
@@ -90,6 +104,10 @@ class QbcSelector final : public ExampleSelector {
   std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
                              size_t k, SelectionTiming* timing) override;
   bool CompatibleWith(const Learner& model) const override;
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool RestoreState(const std::string& state) override {
+    return rng_.RestoreState(state);
+  }
   std::string_view name() const override { return name_; }
 
   int committee_size() const { return committee_size_; }
@@ -109,6 +127,10 @@ class ForestQbcSelector final : public ExampleSelector {
   std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
                              size_t k, SelectionTiming* timing) override;
   bool CompatibleWith(const Learner& model) const override;
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool RestoreState(const std::string& state) override {
+    return rng_.RestoreState(state);
+  }
   std::string_view name() const override { return "ForestQBC"; }
 
  private:
@@ -152,6 +174,10 @@ class IwalSelector final : public ExampleSelector {
   std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
                              size_t k, SelectionTiming* timing) override;
   bool CompatibleWith(const Learner& model) const override;
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool RestoreState(const std::string& state) override {
+    return rng_.RestoreState(state);
+  }
   std::string_view name() const override { return name_; }
 
  private:
@@ -174,6 +200,10 @@ class DensityWeightedSelector final : public ExampleSelector {
   std::vector<size_t> Select(const Learner& model, const ActivePool& pool,
                              size_t k, SelectionTiming* timing) override;
   bool CompatibleWith(const Learner& model) const override;
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool RestoreState(const std::string& state) override {
+    return rng_.RestoreState(state);
+  }
   std::string_view name() const override { return "DensityMargin"; }
 
  private:

@@ -15,6 +15,7 @@
 #define ALEM_ML_DNF_RULE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "features/boolean_features.h"
@@ -79,6 +80,14 @@ class DnfRuleLearner {
   bool trained() const { return trained_; }
   const Dnf& dnf() const { return dnf_; }
   const DnfRuleLearnerConfig& config() const { return config_; }
+
+  // Installs a deserialized DNF as the trained model (keeping the config);
+  // the ml/serialization SerializeDnf round trip and session restore use
+  // this because Fit is the only other way to produce a trained learner.
+  void RestoreTrained(Dnf dnf) {
+    dnf_ = std::move(dnf);
+    trained_ = true;
+  }
 
  private:
   DnfRuleLearnerConfig config_;

@@ -80,6 +80,14 @@ inline void CountPredictCalls(uint64_t n) {
   }
 }
 
+// Unconditional absolute set of the predict-call count. ml.predict_calls is
+// synthesized into Snapshot() from this atomic rather than living in the
+// registry, so session restore (which re-establishes every counter from a
+// snapshot; docs/sessions.md) needs this dedicated setter.
+inline void SetPredictCalls(uint64_t n) {
+  detail::g_predict_calls.store(n, std::memory_order_relaxed);
+}
+
 // ---- Metrics ----------------------------------------------------------
 
 // Monotonically increasing count. Thread-safe; no-op while metrics are off.
@@ -91,6 +99,11 @@ class Counter {
   void Increment() { Add(1); }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
+  // Sets the absolute value unconditionally (like Reset, unlike Add):
+  // session restore re-establishes process-cumulative counts from a
+  // snapshot so a resumed run's totals stitch up exactly
+  // (docs/sessions.md).
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};

@@ -238,6 +238,10 @@ std::string ReportToJson(const RunReport& report) {
   AppendJsonString(&out, report.cache);
   out.append(", \"kernel_backend\": ");
   AppendJsonString(&out, report.kernel_backend);
+  out.append(", \"session\": ");
+  AppendJsonString(&out, report.session);
+  out.append(", \"session_resumes\": ");
+  AppendJsonUint(&out, report.session_resumes);
   out.append("}");
 
   if (report.kind == "run" || !report.curve.empty()) {
@@ -502,6 +506,11 @@ bool ParseReportJson(std::string_view text, RunReport* report,
     const std::string kernel_backend =
         cfg.String("kernel_backend", /*required=*/false);
     if (!kernel_backend.empty()) parsed.kernel_backend = kernel_backend;
+    const std::string session = cfg.String("session", /*required=*/false);
+    if (!session.empty()) parsed.session = session;
+    if (cfg.Get("session_resumes", false) != nullptr) {
+      parsed.session_resumes = cfg.Uint("session_resumes");
+    }
   }
 
   const bool is_run = parsed.kind == "run";

@@ -22,7 +22,7 @@
 //   { "schema_version": 1, "kind": "run"|"bench", "tool": ..., "build": ...,
 //     "config":  { dataset, approach, data_seed, run_seed, scale, threads,
 //                  seed_size, batch_size, max_labels, oracle_noise, holdout,
-//                  cache, kernel_backend },
+//                  cache, kernel_backend, session, session_resumes },
 //     "curve":   [ { iteration, labels_used, precision, recall, f1,
 //                    train_seconds, evaluate_seconds, select_seconds,
 //                    committee_seconds, scoring_seconds, label_seconds,
@@ -51,8 +51,8 @@
 // "pool" (thread-pool utilization; only present when the pool engaged, so
 // threads=1 reports are unchanged), and "profile" (roofline throughput and
 // hardware counters; only present when --profile-regions profiling ran)
-// are optional on parse like config.cache and config.kernel_backend,
-// keeping schema v1 backward compatible.
+// are optional on parse like config.cache, config.kernel_backend, and
+// config.session/session_resumes, keeping schema v1 backward compatible.
 // Doubles are written with %.17g so a parse-back is bit-identical — the
 // determinism gate (--exact-curve) depends on this.
 
@@ -193,6 +193,12 @@ struct RunReport {
   // src/kernels/backend.h). Optional on parse so pre-kernel reports stay
   // loadable; defaults to "scalar".
   std::string kernel_backend = "scalar";
+  // Labeling-session provenance: "fresh" (uninterrupted run) or "resumed"
+  // (continued from an ALSS snapshot; session_resumes counts the restores).
+  // Optional on parse so pre-session reports stay loadable
+  // (docs/sessions.md).
+  std::string session = "fresh";
+  uint64_t session_resumes = 0;
 
   // curve + summary (required for kind "run")
   std::vector<ReportIteration> curve;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace alem {
@@ -61,6 +62,14 @@ class Rng {
 
   // `k` indices sampled uniformly with replacement from [0, n).
   std::vector<size_t> SampleWithReplacement(size_t n, size_t k);
+
+  // Serializes the exact generator position (xoshiro256** state words plus
+  // the Box-Muller gaussian cache) as a single text line, so a restored
+  // stream continues bit-for-bit where the saved one stopped
+  // (docs/sessions.md). RestoreState rejects malformed input and leaves
+  // the generator unchanged.
+  std::string SaveState() const;
+  bool RestoreState(const std::string& state);
 
  private:
   uint64_t state_[4];

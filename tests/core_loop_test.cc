@@ -41,8 +41,9 @@ TEST(SeedPoolTest, LabelsBothClasses) {
   const Problem problem = MakeProblem(500, 1);
   ActivePool pool(problem.features);
   PerfectOracle oracle(problem.truth);
-  const size_t labeled = SeedPool(pool, oracle, 30, 3);
-  EXPECT_GE(labeled, 30u);
+  const SeedResult seeded = SeedPool(pool, oracle, 30, 3);
+  EXPECT_GE(seeded.labeled, 30u);
+  EXPECT_TRUE(seeded.has_both_classes);
   const std::vector<int> labels = pool.ActiveLabeledLabels();
   EXPECT_TRUE(std::count(labels.begin(), labels.end(), 1) > 0);
   EXPECT_TRUE(std::count(labels.begin(), labels.end(), 0) > 0);

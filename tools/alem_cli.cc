@@ -49,6 +49,18 @@
 //       ALEM_REPORT_DIR / ALEM_TELEMETRY_HZ / ALEM_PROFILE_REGIONS
 //       environment knobs, same as the bench binaries (see
 //       docs/observability.md).
+//   alem_cli session <run|save|resume>
+//       Drives a run through the step-wise LabelingSession API
+//       (docs/sessions.md). `session run` takes the same flags as `run`
+//       (ensemble approaches excluded) and behaves identically. `session
+//       save --snapshot=PATH [--stop-after=N]` pauses after N iterations
+//       and writes a checksummed ALSS snapshot — learner model, labeled
+//       pool, selector/oracle RNG streams, curve, config, metric totals.
+//       `session resume --snapshot=PATH` restores it in a fresh process
+//       and continues; the stitched curve and report are bitwise-identical
+//       to the uninterrupted run at any thread count, with the report
+//       stamped config.session="resumed" / session_resumes=K. Resume also
+//       accepts --stop-after=N with --snapshot-out=PATH to pause again.
 //   alem_cli apply --model=PATH --dataset=<name> [--scale=S] [--seed=N]
 //       [--limit=N]
 //       Loads a saved forest/SVM model and prints its predicted matches on
@@ -60,6 +72,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/harness.h"
@@ -160,6 +173,86 @@ int SaveModel(const RunResult& result, const std::string& path) {
   return 0;
 }
 
+// Maps the shared run flags onto a RunConfig (used by `run` and the
+// `session` subcommands).
+RunConfig RunConfigFromFlags(const FlagParser& flags,
+                             const ApproachSpec& spec) {
+  RunConfig config;
+  config.approach = spec;
+  config.max_labels = static_cast<size_t>(flags.GetInt("max-labels", 300));
+  config.batch_size = static_cast<size_t>(flags.GetInt("batch", 10));
+  config.seed_size = static_cast<size_t>(flags.GetInt("seed-size", 30));
+  config.oracle_noise = flags.GetDouble("noise", 0.0);
+  config.holdout = flags.GetBool("holdout", false);
+  config.run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
+  return config;
+}
+
+void PrintRunHeader(const PreparedDataset& data, const RunConfig& config) {
+  std::printf("%s on %s (%zu pairs, skew %.3f)%s",
+              config.approach.DisplayName().c_str(), data.name.c_str(),
+              data.pairs.size(), data.class_skew,
+              config.holdout ? ", holdout 80/20" : ", progressive");
+  if (parallel::NumThreads() > 1) {
+    std::printf(", threads=%d", parallel::NumThreads());
+  }
+  std::printf("\n");
+}
+
+void PrintRunResult(const FlagParser& flags, const RunResult& result) {
+  if (!flags.GetBool("quiet", false)) {
+    std::printf("%8s %10s %10s %10s %10s\n", "#labels", "precision",
+                "recall", "F1", "wait(s)");
+    for (const IterationStats& it : result.curve) {
+      std::printf("%8zu %10.3f %10.3f %10.3f %10.4f\n", it.labels_used,
+                  it.metrics.precision, it.metrics.recall, it.metrics.f1,
+                  it.wait_seconds);
+    }
+  }
+  std::printf("best F1 %.3f with %zu labels; total wait %.2fs\n",
+              result.best_f1, result.labels_to_converge,
+              result.total_wait_seconds);
+  if (result.ensemble_accepted > 0) {
+    std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
+  }
+}
+
+// Trace/metrics export + report artifact + --save-model, shared by `run`
+// and the session subcommands. `session`/`session_resumes` land in the
+// report's config block (docs/sessions.md).
+int WriteRunArtifacts(const FlagParser& flags,
+                      const obs::ArtifactOptions& artifacts,
+                      const PreparedDataset& data, const RunConfig& config,
+                      const RunResult& result,
+                      std::chrono::steady_clock::time_point wall_start,
+                      const std::string& session, uint64_t session_resumes) {
+  int obs_status = artifacts.ExportTraceAndMetrics();
+  if (!artifacts.report_path.empty()) {
+    const std::string& path = artifacts.report_path;
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    obs::RunReport report =
+        BuildRunReport(data, config, result, wall_seconds, "alem_cli");
+    report.session = session;
+    report.session_resumes = session_resumes;
+    if (obs::WriteReportJson(path, report)) {
+      std::printf("report written to %s (%zu iterations)\n", path.c_str(),
+                  report.curve.size());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", path.c_str());
+      obs_status = 1;
+    }
+  }
+  if (flags.Has("save-model")) {
+    const int save_status =
+        SaveModel(result, flags.GetString("save-model", "model.txt"));
+    if (save_status != 0) return save_status;
+  }
+  return obs_status;
+}
+
 int CommandRun(const FlagParser& flags) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
@@ -178,64 +271,161 @@ int CommandRun(const FlagParser& flags) {
   const PreparedDataset data =
       PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
 
-  RunConfig config;
-  config.approach = spec;
-  config.max_labels = static_cast<size_t>(flags.GetInt("max-labels", 300));
-  config.batch_size = static_cast<size_t>(flags.GetInt("batch", 10));
-  config.seed_size = static_cast<size_t>(flags.GetInt("seed-size", 30));
-  config.oracle_noise = flags.GetDouble("noise", 0.0);
-  config.holdout = flags.GetBool("holdout", false);
-  config.run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
-
-  std::printf("%s on %s (%zu pairs, skew %.3f)%s",
-              spec.DisplayName().c_str(), data.name.c_str(),
-              data.pairs.size(), data.class_skew,
-              config.holdout ? ", holdout 80/20" : ", progressive");
-  if (parallel::NumThreads() > 1) {
-    std::printf(", threads=%d", parallel::NumThreads());
-  }
-  std::printf("\n");
+  const RunConfig config = RunConfigFromFlags(flags, spec);
+  PrintRunHeader(data, config);
   const RunResult result = RunActiveLearning(data, config);
+  PrintRunResult(flags, result);
+  return WriteRunArtifacts(flags, artifacts, data, config, result, wall_start,
+                           /*session=*/"fresh", /*session_resumes=*/0);
+}
 
-  if (!flags.GetBool("quiet", false)) {
-    std::printf("%8s %10s %10s %10s %10s\n", "#labels", "precision",
-                "recall", "F1", "wait(s)");
-    for (const IterationStats& it : result.curve) {
-      std::printf("%8zu %10.3f %10.3f %10.3f %10.4f\n", it.labels_used,
-                  it.metrics.precision, it.metrics.recall, it.metrics.f1,
-                  it.wait_seconds);
-    }
+// `session run` drives a run through the step-wise LabelingSession API and
+// `session save` additionally pauses it after --stop-after iterations,
+// writing an ALSS snapshot (docs/sessions.md).
+int CommandSessionStart(const FlagParser& flags, bool save) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::string dataset_name = flags.GetString("dataset", "Abt-Buy");
+  const std::string approach_name = flags.GetString("approach", "trees20");
+
+  ApproachSpec spec;
+  if (!ApproachFromName(approach_name, &spec)) {
+    std::fprintf(stderr, "unknown approach '%s' (try: alem_cli list)\n",
+                 approach_name.c_str());
+    return 1;
   }
-  std::printf("best F1 %.3f with %zu labels; total wait %.2fs\n",
-              result.best_f1, result.labels_to_converge,
-              result.total_wait_seconds);
-  if (result.ensemble_accepted > 0) {
-    std::printf("accepted ensemble members: %zu\n", result.ensemble_accepted);
+  if (spec.active_ensemble) {
+    std::fprintf(stderr, "active-ensemble approaches are not sessionable\n");
+    return 1;
+  }
+  const obs::ArtifactOptions artifacts = obs::ArtifactOptionsFromFlags(
+      flags, "alem_cli_session_" + dataset_name + "_" + approach_name);
+  artifacts.EnableObservability();
+  // Snapshots carry the metric totals so a resumed run's counters stitch up
+  // exactly; keep them accumulating even when no --metrics path was given.
+  obs::SetMetricsEnabled(true);
+  const SynthProfile profile = ProfileByName(dataset_name);
+  const PreparedDataset data =
+      PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
+
+  const RunConfig config = RunConfigFromFlags(flags, spec);
+  PrintRunHeader(data, config);
+
+  SessionRunner runner(data, config);
+  if (save) {
+    const size_t stop_after =
+        static_cast<size_t>(flags.GetInt("stop-after", 2));
+    const std::string path = flags.GetString("snapshot", "session.alss");
+    runner.Run(stop_after);
+    std::string error;
+    if (!runner.Save(path, &error)) {
+      std::fprintf(stderr, "error: session save: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("session saved to %s after %zu iterations (%.*s)\n",
+                path.c_str(), runner.session().curve().size(),
+                static_cast<int>(
+                    SessionStateName(runner.session().state()).size()),
+                SessionStateName(runner.session().state()).data());
+    return 0;
   }
 
-  int obs_status = artifacts.ExportTraceAndMetrics();
-  if (!artifacts.report_path.empty()) {
-    const std::string& path = artifacts.report_path;
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
-    const obs::RunReport report =
-        BuildRunReport(data, config, result, wall_seconds, "alem_cli");
-    if (obs::WriteReportJson(path, report)) {
-      std::printf("report written to %s (%zu iterations)\n", path.c_str(),
-                  report.curve.size());
-    } else {
-      std::fprintf(stderr, "failed to write report to %s\n", path.c_str());
-      obs_status = 1;
+  runner.Run();
+  const RunResult result = runner.TakeResult();
+  PrintRunResult(flags, result);
+  return WriteRunArtifacts(flags, artifacts, data, config, result, wall_start,
+                           /*session=*/"fresh", /*session_resumes=*/0);
+}
+
+// `session resume` re-prepares the dataset from the snapshot's provenance,
+// restores the paused session in this fresh process, and runs it to
+// completion (or pauses again under --stop-after, re-saving with
+// --snapshot-out). The stitched curve and report are bitwise-identical to
+// the uninterrupted run's at any thread count.
+int CommandSessionResume(const FlagParser& flags) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::string path = flags.GetString("snapshot", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "session resume requires --snapshot=PATH\n");
+    return 1;
+  }
+  SessionSnapshot snapshot;
+  std::string error;
+  if (!SessionSnapshot::ReadFile(path, &snapshot, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  SessionRunInfo info;
+  if (!ReadSessionRunInfo(snapshot, &info, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const obs::ArtifactOptions artifacts = obs::ArtifactOptionsFromFlags(
+      flags, "alem_cli_session_resume_" + info.dataset);
+  artifacts.EnableObservability();
+  obs::SetMetricsEnabled(true);
+  // Dataset provenance (profile, data seed, scale) comes from the snapshot;
+  // execution knobs (threads, cache, kernel backend) stay CLI-controlled —
+  // the determinism contract makes them free to vary across the pause.
+  PrepareOptions options;
+  options.profile = ProfileByName(info.dataset);
+  options.data_seed = info.data_seed;
+  options.scale = info.scale;
+  options.use_cache = artifacts.use_cache;
+  options.cache_dir = artifacts.cache_dir;
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  PreparedDataset data = PrepareDataset(options);
+  // The stitched report describes the whole run, so config.cache carries
+  // the original prepare's outcome, not this process's.
+  data.feature_cache = info.feature_cache;
+
+  std::unique_ptr<SessionRunner> runner =
+      SessionRunner::Restore(data, info.config, snapshot, &error);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const uint64_t resumes = runner->session().resume_count();
+  std::printf("resumed %s on %s at iteration %zu (resume #%llu)\n",
+              info.config.approach.DisplayName().c_str(),
+              data.name.c_str(), runner->session().iteration(),
+              static_cast<unsigned long long>(resumes));
+
+  const size_t stop_after =
+      static_cast<size_t>(flags.GetInt("stop-after", 0));
+  runner->Run(stop_after);
+  if (!runner->session().finished() && stop_after > 0) {
+    const std::string out = flags.GetString("snapshot-out", path);
+    if (!runner->Save(out, &error)) {
+      std::fprintf(stderr, "error: session save: %s\n", error.c_str());
+      return 1;
     }
+    std::printf("session saved to %s after %zu iterations\n", out.c_str(),
+                runner->session().curve().size());
+    return 0;
   }
-  if (flags.Has("save-model")) {
-    const int save_status =
-        SaveModel(result, flags.GetString("save-model", "model.txt"));
-    if (save_status != 0) return save_status;
-  }
-  return obs_status;
+
+  const RunResult result = runner->TakeResult();
+  PrintRunResult(flags, result);
+  return WriteRunArtifacts(flags, artifacts, data, info.config, result,
+                           wall_start, /*session=*/"resumed", resumes);
+}
+
+int CommandSession(const FlagParser& flags) {
+  const std::string verb =
+      flags.positional().size() > 1 ? flags.positional()[1] : "";
+  if (verb == "run") return CommandSessionStart(flags, /*save=*/false);
+  if (verb == "save") return CommandSessionStart(flags, /*save=*/true);
+  if (verb == "resume") return CommandSessionResume(flags);
+  std::fprintf(
+      stderr,
+      "usage: alem_cli session <run|save|resume> [flags]\n"
+      "  alem_cli session run    --dataset=D --approach=A [run flags]\n"
+      "  alem_cli session save   --dataset=D --approach=A "
+      "--snapshot=PATH [--stop-after=N] [run flags]\n"
+      "  alem_cli session resume --snapshot=PATH [--report=PATH.json]\n"
+      "      [--threads=N] [--stop-after=N --snapshot-out=PATH]\n");
+  return 1;
 }
 
 int CommandApply(const FlagParser& flags) {
@@ -318,9 +508,10 @@ int Main(int argc, char** argv) {
   if (command == "list") return CommandList();
   if (command == "stats") return CommandStats(flags);
   if (command == "run") return CommandRun(flags);
+  if (command == "session") return CommandSession(flags);
   if (command == "apply") return CommandApply(flags);
   std::printf(
-      "usage: alem_cli <list|stats|run|apply|kernels> [flags]\n"
+      "usage: alem_cli <list|stats|run|session|apply|kernels> [flags]\n"
       "  alem_cli list\n"
       "  alem_cli kernels\n"
       "  alem_cli stats --dataset=Abt-Buy\n"
@@ -329,6 +520,10 @@ int Main(int argc, char** argv) {
       "  alem_cli run --dataset=Abt-Buy --approach=linear-margin "
       "--trace=out.json --metrics=out.csv\n"
       "  alem_cli run --dataset=Abt-Buy --approach=trees10 "
+      "--report=out.report.json\n"
+      "  alem_cli session save --dataset=Abt-Buy --approach=linear-margin "
+      "--snapshot=run.alss --stop-after=2\n"
+      "  alem_cli session resume --snapshot=run.alss "
       "--report=out.report.json\n");
   return command == "help" ? 0 : 1;
 }

@@ -43,6 +43,12 @@
 #      items == ml.predict_calls), stamp profile.hw as available or
 #      unavailable, and aggregate into the BENCH trajectory
 #      (docs/observability.md, "Profiling").
+#   9. Resumable sessions: the golden linear-margin workload saved after
+#      2 iterations (`alem_cli session save`) and resumed in a fresh
+#      4-thread process must produce a stitched report that replays the
+#      committed uninterrupted baseline with the curve exact and every
+#      counter exact (--exact-curve --counter-tol=0), stamped
+#      config.session="resumed" / session_resumes=1 (docs/sessions.md).
 set -eu
 
 build_dir="${1:-build}"
@@ -78,14 +84,14 @@ run_cli() {
       "$@" > /dev/null
 }
 
-echo "[1/8] determinism: cold cached t1 curve == uncached t4 curve"
+echo "[1/9] determinism: cold cached t1 curve == uncached t4 curve"
 mkdir -p "$work/cache"
 run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
 run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/8] cache warmth: warm rerun identical, provenance says hit"
+echo "[2/9] cache warmth: warm rerun identical, provenance says hit"
 run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
 "$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
     --exact-curve
@@ -105,7 +111,7 @@ assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
 assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
 EOF
 
-echo "[3/8] quality: three golden workloads within tolerance, counters exact"
+echo "[3/9] quality: three golden workloads within tolerance, counters exact"
 for approach in linear-margin trees5 linear-qbc4; do
   name="$(printf '%s' "$approach" | tr '-' '_')"
   candidate="$work/cand_$name.report.json"
@@ -120,7 +126,7 @@ for approach in linear-margin trees5 linear-qbc4; do
       --counter-tol=0
 done
 
-echo "[4/8] sensitivity: perturbed baseline must fail the check"
+echo "[4/9] sensitivity: perturbed baseline must fail the check"
 python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
     "$work/perturbed.json" <<'EOF'
 import json, sys
@@ -140,7 +146,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[5/8] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/9] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
@@ -156,7 +162,7 @@ assert agg["kind"] == "aggregate", agg.get("kind")
 assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
 EOF
 
-echo "[6/8] tail latency: telemetry run, pool invariant, p95 determinism"
+echo "[6/9] tail latency: telemetry run, pool invariant, p95 determinism"
 run_cli linear-margin 4 "$work/lat4.report.json" --no-cache \
     --telemetry-hz=50 --trace="$work/lat4.trace.json" \
     --metrics="$work/lat4.metrics.csv"
@@ -203,7 +209,7 @@ if "$report_tool" check "$work/lat_perturbed.json" "$work/lat4.report.json" \
 fi
 echo "perturbed latency baseline rejected as expected"
 
-echo "[7/8] kernel backends: scalar golden replay, per-backend equivalence"
+echo "[7/9] kernel backends: scalar golden replay, per-backend equivalence"
 # Scalar-forced cold runs must replay all three committed baselines with
 # every counter exact — pins the scalar reference path end to end.
 for approach in linear-margin trees5 linear-qbc4; do
@@ -244,7 +250,7 @@ assert stamped == "scalar", (
     f"config.kernel_backend is {stamped!r}, expected 'scalar'")
 EOF
 
-echo "[8/8] roofline profile: bitwise replay, work-counter invariants"
+echo "[8/9] roofline profile: bitwise replay, work-counter invariants"
 # A profiled cold run (default curated region set) must not perturb the
 # workload: the curve and every counter must replay the golden baseline
 # exactly, even while HW counters and work accounting are live.
@@ -306,5 +312,35 @@ names = {r["name"] for r in profile["regions"]}
 assert {"sim.batch", "ml.batch"} <= names, names
 assert all(r["items_per_sec"] >= 0 for r in profile["regions"])
 EOF
+
+echo "[9/9] resumable sessions: half-run save, fresh-process resume, stitch"
+# Pause the golden linear-margin workload after 2 iterations (cold cache,
+# matching the baseline's featurize.cache.* counters), resume it in a NEW
+# process at 4 threads with the cache disabled, and require the stitched
+# report to replay the committed uninterrupted baseline bitwise — curve
+# exact, every counter exact (docs/sessions.md). The resume process's own
+# prepare-phase counters are discarded in favor of the snapshot's, so its
+# cache policy is free.
+mkdir -p "$work/cache_session"
+"$cli" session save --dataset=Abt-Buy --approach=linear-margin \
+    --scale=0.25 --max-labels=60 --threads=1 \
+    --cache-dir="$work/cache_session" \
+    --snapshot="$work/gate.alss" --stop-after=2 > /dev/null
+"$cli" session resume --snapshot="$work/gate.alss" --threads=4 --no-cache \
+    --quiet --report="$work/resumed.report.json" > /dev/null
+"$report_tool" check \
+    "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
+    "$work/resumed.report.json" --exact-curve --counter-tol=0
+python3 "$repo_root/tools/trace_summary.py" --check \
+    --report "$work/resumed.report.json"
+python3 - "$work/resumed.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+config = report["config"]
+assert config.get("session") == "resumed", config.get("session")
+assert config.get("session_resumes") == 1, config.get("session_resumes")
+EOF
+echo "resumed run replays the golden baseline exactly"
 
 echo "report gate OK"

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `alem_cli session save` / `session resume`.
+
+Runs the golden linear-margin workload three ways in separate processes:
+
+  1. uninterrupted:  alem_cli run            --report=fresh.json
+  2. first half:     alem_cli session save   --stop-after=2 --snapshot=s.alss
+  3. second half:    alem_cli session resume --snapshot=s.alss (4 threads)
+                                             --report=resumed.json
+
+and asserts the stitched resumed report matches the uninterrupted one on
+every deterministic field: curve (labels/precision/recall/F1, scored and
+pruned example counts) and all counters, exactly. Timing fields are
+wall-clock and excluded (docs/sessions.md). Also checks the resumed
+report's session provenance and that a corrupted snapshot is rejected
+with a clean error.
+
+Usage: session_smoke.py --cli PATH_TO_ALEM_CLI
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+WORKLOAD = [
+    "--dataset=Abt-Buy",
+    "--approach=linear-margin",
+    "--scale=0.25",
+    "--max-labels=60",
+    "--no-cache",
+    "--quiet",
+]
+
+DETERMINISTIC_CURVE_FIELDS = [
+    "iteration",
+    "labels_used",
+    "precision",
+    "recall",
+    "f1",
+    "scored_examples",
+    "pruned_examples",
+    "dnf_atoms",
+    "tree_depth",
+    "ensemble_size",
+]
+
+
+def run(cmd, expect_failure=False):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if expect_failure:
+        if proc.returncode == 0:
+            sys.exit(f"FAIL: expected failure from {' '.join(map(str, cmd))}")
+        return proc
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL: {' '.join(map(str, cmd))} exited {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True, help="path to alem_cli")
+    args = parser.parse_args()
+    cli = Path(args.cli)
+
+    with tempfile.TemporaryDirectory(prefix="alem_session_smoke_") as tmp:
+        tmp = Path(tmp)
+        snapshot = tmp / "session.alss"
+        fresh_path = tmp / "fresh.report.json"
+        resumed_path = tmp / "resumed.report.json"
+
+        run([cli, "run", *WORKLOAD, "--threads=1",
+             f"--report={fresh_path}"])
+        run([cli, "session", "save", *WORKLOAD, "--threads=1",
+             "--stop-after=2", f"--snapshot={snapshot}"])
+        if not snapshot.exists():
+            sys.exit("FAIL: session save wrote no snapshot")
+        proc = run([cli, "session", "resume", f"--snapshot={snapshot}",
+                    "--threads=4", "--no-cache",
+                    f"--report={resumed_path}"])
+        if "resume #1" not in proc.stdout:
+            sys.exit(f"FAIL: resume banner missing:\n{proc.stdout}")
+
+        fresh = json.loads(fresh_path.read_text())
+        resumed = json.loads(resumed_path.read_text())
+
+        if fresh["config"]["session"] != "fresh":
+            sys.exit("FAIL: fresh report not stamped session=fresh")
+        if resumed["config"]["session"] != "resumed":
+            sys.exit("FAIL: resumed report not stamped session=resumed")
+        if resumed["config"]["session_resumes"] != 1:
+            sys.exit("FAIL: resumed report session_resumes != 1")
+
+        if len(fresh["curve"]) != len(resumed["curve"]):
+            sys.exit(
+                f"FAIL: curve lengths differ: {len(fresh['curve'])} vs "
+                f"{len(resumed['curve'])}"
+            )
+        for i, (a, b) in enumerate(zip(fresh["curve"], resumed["curve"])):
+            for field in DETERMINISTIC_CURVE_FIELDS:
+                if a[field] != b[field]:
+                    sys.exit(
+                        f"FAIL: curve[{i}].{field} differs: "
+                        f"{a[field]} vs {b[field]}"
+                    )
+
+        counter_diffs = {
+            name: (fresh["counters"].get(name), resumed["counters"].get(name))
+            for name in set(fresh["counters"]) | set(resumed["counters"])
+            if fresh["counters"].get(name) != resumed["counters"].get(name)
+        }
+        if counter_diffs:
+            sys.exit(f"FAIL: counters do not stitch up: {counter_diffs}")
+
+        # A corrupted snapshot must be rejected with a clean error.
+        blob = bytearray(snapshot.read_bytes())
+        blob[len(blob) // 2] ^= 0x5A
+        corrupt = tmp / "corrupt.alss"
+        corrupt.write_bytes(bytes(blob))
+        proc = run([cli, "session", "resume", f"--snapshot={corrupt}"],
+                   expect_failure=True)
+        if "checksum" not in proc.stderr:
+            sys.exit(f"FAIL: corrupt snapshot error not clean:\n{proc.stderr}")
+
+    print("session smoke test OK: curve + counters stitch exactly, "
+          "provenance stamped, corruption rejected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
