@@ -88,6 +88,101 @@ void BM_NeuralNetFit(benchmark::State& state) {
 }
 BENCHMARK(BM_NeuralNetFit)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
 
+// ---- Warm-start refits vs. cold refits (docs/training.md) --------------
+//
+// Models one Fig. 10-style growth step: a model trained on the first `n`
+// labeled rows is refit after one batch (10 rows) of new labels arrives.
+// Arg 0 is n, arg 1 selects the path (0 = cold Fit on n+10, as
+// --warm-start=off does every iteration; 1 = FitWarm from the n-row model,
+// the --warm-start=on path). The `fits_per_sec` rate is the comparable
+// number across the pair; the warm/cold ratio is the per-iteration training
+// speedup the incremental engine buys. Warm rows pay a PauseTiming'd
+// re-seed per iteration so every timed refit starts from the same
+// trained-at-n state.
+
+void BM_SvmFitWarmVsCold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  const TrainingSlice early = SliceOf(n, false);
+  const TrainingSlice grown = SliceOf(n + 10, false);
+  LinearSvm model(LinearSvmConfig{});
+  for (auto _ : state) {
+    if (warm) {
+      state.PauseTiming();
+      model.Fit(early.features, early.labels);
+      state.ResumeTiming();
+      model.FitWarm(grown.features, grown.labels);
+    } else {
+      model.Fit(grown.features, grown.labels);
+    }
+    benchmark::DoNotOptimize(model.bias());
+  }
+  state.counters["fits_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SvmFitWarmVsCold)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({300, 0})
+    ->Args({300, 1});
+
+void BM_NeuralNetFitWarmVsCold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  const TrainingSlice early = SliceOf(n, false);
+  const TrainingSlice grown = SliceOf(n + 10, false);
+  NeuralNetwork model(NeuralNetConfig{});
+  for (auto _ : state) {
+    if (warm) {
+      state.PauseTiming();
+      model.Fit(early.features, early.labels);
+      state.ResumeTiming();
+      model.FitWarm(grown.features, grown.labels);
+    } else {
+      model.Fit(grown.features, grown.labels);
+    }
+    benchmark::DoNotOptimize(model.trained());
+  }
+  state.counters["fits_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NeuralNetFitWarmVsCold)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestFitWarmVsCold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  const TrainingSlice early = SliceOf(n, false);
+  const TrainingSlice grown = SliceOf(n + 10, false);
+  RandomForestConfig config;
+  config.num_trees = 20;
+  RandomForest model(config);
+  for (auto _ : state) {
+    if (warm) {
+      state.PauseTiming();
+      RandomForest fresh(config);
+      fresh.FitWarm(early.features, early.labels);
+      model = std::move(fresh);
+      state.ResumeTiming();
+      model.FitWarm(grown.features, grown.labels);
+    } else {
+      model.Fit(grown.features, grown.labels);
+    }
+    benchmark::DoNotOptimize(model.trees().size());
+  }
+  state.counters["fits_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForestFitWarmVsCold)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({300, 0})
+    ->Args({300, 1});
+
 void BM_RulesFit(benchmark::State& state) {
   const TrainingSlice slice =
       SliceOf(static_cast<size_t>(state.range(0)), true);

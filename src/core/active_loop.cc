@@ -8,6 +8,31 @@
 
 namespace alem {
 
+std::string_view WarmStartModeName(WarmStartMode mode) {
+  switch (mode) {
+    case WarmStartMode::kOn:
+      return "on";
+    case WarmStartMode::kAuto:
+      return "auto";
+    case WarmStartMode::kOff:
+      break;
+  }
+  return "off";
+}
+
+bool ParseWarmStartMode(std::string_view name, WarmStartMode* mode) {
+  if (name == "off") {
+    *mode = WarmStartMode::kOff;
+  } else if (name == "on") {
+    *mode = WarmStartMode::kOn;
+  } else if (name == "auto") {
+    *mode = WarmStartMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SeedResult SeedPool(ActivePool& pool, Oracle& oracle, size_t seed_size,
                     uint64_t seed) {
   Rng rng(seed);

@@ -13,6 +13,8 @@
 #define ALEM_CORE_ACTIVE_LOOP_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -44,6 +46,22 @@ struct LoopBudget {
   const LoopBudget& budget() const { return *this; }
 };
 
+// Incremental-engine mode (docs/training.md; --warm-start CLI knob):
+//   kOff  — every iteration refits cold and rescores the full pool; the
+//           exact-replay path the golden baselines are pinned on (default).
+//   kOn   — warm-start refits (FitHint::kWarm) plus the delta-based
+//           incremental progressive-F1 tally. Curves are gated against cold
+//           baselines by F1 tolerance, not bitwise.
+//   kAuto — incremental evaluation only, with cold refits: the model stream
+//           is untouched, so curves stay bitwise-identical to kOff while the
+//           evaluation tally is still O(changed rows).
+enum class WarmStartMode { kOff, kOn, kAuto };
+
+// "off" / "on" / "auto".
+std::string_view WarmStartModeName(WarmStartMode mode);
+// Parses a mode name; returns false on anything else (*mode untouched).
+bool ParseWarmStartMode(std::string_view name, WarmStartMode* mode);
+
 struct ActiveLearningConfig : LoopBudget {
   // Seed for the initial sample (selectors carry their own RNGs).
   uint64_t seed = 1;
@@ -52,6 +70,8 @@ struct ActiveLearningConfig : LoopBudget {
   // (0 disables). Section 6.3 of the paper motivates termination criteria
   // that do not require ground truth.
   size_t plateau_window = 0;
+  // Incremental training + evaluation engine mode (see above).
+  WarmStartMode warm_start = WarmStartMode::kOff;
 };
 
 struct IterationStats {

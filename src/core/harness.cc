@@ -461,6 +461,9 @@ bool ReadSessionRunInfo(const SessionSnapshot& snapshot, SessionRunInfo* info,
     return false;
   }
   parsed.config.budget() = loop_config.budget();
+  // warm_start travels in the session's own loop-config section: a resumed
+  // run continues in the snapshot's mode regardless of the resuming CLI.
+  parsed.config.warm_start = loop_config.warm_start;
   *info = std::move(parsed);
   return true;
 }
@@ -482,6 +485,7 @@ SessionRunner::SessionRunner(const PreparedDataset& data,
     ActiveLearningConfig loop_config;
     loop_config.budget() = config.budget();
     loop_config.seed = config.run_seed;
+    loop_config.warm_start = config.warm_start;
     session_ = std::make_unique<LabelingSession>(
         *env_.approach.learner, *env_.approach.selector, *env_.oracle,
         *env_.evaluator, env_.pool, loop_config);

@@ -93,6 +93,10 @@ struct RunConfig : LoopBudget {
   double holdout_fraction = 0.2;
   // Drives seed sampling, learner randomness, noisy-oracle flips, splits.
   uint64_t run_seed = 1;
+  // Incremental training + evaluation engine (--warm-start, docs/
+  // training.md). Results-affecting like run_seed: a resumed session takes
+  // the mode from the snapshot, not the CLI.
+  WarmStartMode warm_start = WarmStartMode::kOff;
 };
 
 struct RunResult {

@@ -33,12 +33,31 @@ uint64_t MlBatchBytes(const FeatureMatrix& features, size_t rows) {
 
 void Learner::Fit(const FeatureMatrix& features,
                   const std::vector<int>& labels) {
+  Fit(features, labels, FitHint::kCold);
+}
+
+void Learner::Fit(const FeatureMatrix& features, const std::vector<int>& labels,
+                  FitHint hint) {
   obs::ObsSpan span("ml.fit", "ml", name());
-  FitImpl(features, labels);
+  // A warm hint is best-effort: FitWarmImpl declines (returning false with
+  // the model untouched) when it cannot resume, and the cold path runs.
+  const bool warm = hint == FitHint::kWarm && FitWarmImpl(features, labels);
+  if (!warm) FitImpl(features, labels);
   const double seconds = span.Close();
   static obs::Counter& fits =
       obs::MetricsRegistry::Global().GetCounter("ml.fit_calls");
   fits.Increment();
+  // Warm/cold rollup: ml.warm_fits + ml.cold_fits == ml.fit_calls always
+  // (trace_summary.py --check enforces it; docs/observability.md).
+  if (warm) {
+    static obs::Counter& warm_fits =
+        obs::MetricsRegistry::Global().GetCounter("ml.warm_fits");
+    warm_fits.Increment();
+  } else {
+    static obs::Counter& cold_fits =
+        obs::MetricsRegistry::Global().GetCounter("ml.cold_fits");
+    cold_fits.Increment();
+  }
   static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
       "ml.fit_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0});
   latency.Observe(seconds);
@@ -128,6 +147,11 @@ void SvmLearner::FitImpl(const FeatureMatrix& features,
   model_.Fit(features, labels);
 }
 
+bool SvmLearner::FitWarmImpl(const FeatureMatrix& features,
+                             const std::vector<int>& labels) {
+  return model_.FitWarm(features, labels);
+}
+
 int SvmLearner::PredictImpl(const float* x) const { return model_.Predict(x); }
 
 std::unique_ptr<Learner> SvmLearner::CloneUntrained() const {
@@ -172,6 +196,11 @@ std::vector<size_t> SvmLearner::BlockingDimensions(size_t k) const {
 void NeuralNetLearner::FitImpl(const FeatureMatrix& features,
                                const std::vector<int>& labels) {
   model_.Fit(features, labels);
+}
+
+bool NeuralNetLearner::FitWarmImpl(const FeatureMatrix& features,
+                                   const std::vector<int>& labels) {
+  return model_.FitWarm(features, labels);
 }
 
 int NeuralNetLearner::PredictImpl(const float* x) const {
@@ -228,6 +257,16 @@ std::vector<size_t> NeuralNetLearner::BlockingDimensions(size_t k) const {
 void ForestLearner::FitImpl(const FeatureMatrix& features,
                             const std::vector<int>& labels) {
   model_.Fit(features, labels);
+}
+
+bool ForestLearner::FitWarmImpl(const FeatureMatrix& features,
+                                const std::vector<int>& labels) {
+  size_t trees_refit = 0;
+  if (!model_.FitWarm(features, labels, &trees_refit)) return false;
+  static obs::Counter& refit_counter =
+      obs::MetricsRegistry::Global().GetCounter("ml.trees_refit");
+  refit_counter.Add(trees_refit);
+  return true;
 }
 
 int ForestLearner::PredictImpl(const float* x) const {

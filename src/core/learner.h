@@ -55,12 +55,24 @@ namespace alem {
 // active-learning loops, and the evaluator all score through this path;
 // the scalar entry points remain for selection-time blocking's early-exit
 // and one-off calls.
+// How Learner::Fit should obtain the new model (docs/training.md): kCold
+// trains from scratch; kWarm asks the learner to resume from its current
+// model via FitWarmImpl, silently falling back to a cold fit when the
+// learner cannot (untrained, dimensionality change, or no warm support).
+// The ml.warm_fits / ml.cold_fits counters record the path actually taken.
+enum class FitHint { kCold, kWarm };
+
 class Learner {
  public:
   virtual ~Learner() = default;
 
   // Trains from scratch on labels in {0, 1}.
   void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Trains with an explicit warm/cold hint; Fit(features, labels) is
+  // equivalent to hint = FitHint::kCold.
+  void Fit(const FeatureMatrix& features, const std::vector<int>& labels,
+           FitHint hint);
 
   int Predict(const float* x) const {
     obs::CountPredictCall();
@@ -108,6 +120,16 @@ class Learner {
   virtual void FitImpl(const FeatureMatrix& features,
                        const std::vector<int>& labels) = 0;
   virtual int PredictImpl(const float* x) const = 0;
+
+  // Warm-start refit from the current model. Returns false (model untouched)
+  // when the learner cannot warm-start — Fit then runs FitImpl instead. The
+  // default marks warm starts unsupported for the learner.
+  virtual bool FitWarmImpl(const FeatureMatrix& features,
+                           const std::vector<int>& labels) {
+    (void)features;
+    (void)labels;
+    return false;
+  }
 
   // Serial batch kernels over one chunk of rows, invoked from inside the
   // PredictBatch / ProbaBatch fan-out. Defaults loop the scalar PredictImpl;
@@ -167,6 +189,8 @@ class SvmLearner final : public MarginLearner {
  protected:
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
+  bool FitWarmImpl(const FeatureMatrix& features,
+                   const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
   // Blocked w·Xᵀ sweeps over the chunk (LinearSvm batch kernels).
   void PredictChunkImpl(const FeatureMatrix& features,
@@ -201,6 +225,8 @@ class NeuralNetLearner final : public MarginLearner {
  protected:
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
+  bool FitWarmImpl(const FeatureMatrix& features,
+                   const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
   // Chunked fused forward passes (NeuralNetwork batch kernels).
   void PredictChunkImpl(const FeatureMatrix& features,
@@ -237,6 +263,10 @@ class ForestLearner final : public Learner {
  protected:
   void FitImpl(const FeatureMatrix& features,
                const std::vector<int>& labels) override;
+  // Refits only the trees whose Poisson-bootstrap sample gained labels;
+  // increments ml.trees_refit by the number actually re-fit.
+  bool FitWarmImpl(const FeatureMatrix& features,
+                   const std::vector<int>& labels) override;
   int PredictImpl(const float* x) const override;
   // Flattened-forest traversal with per-row register vote accumulation.
   // ProbaChunkImpl yields the positive tree fraction per row (the QBC vote

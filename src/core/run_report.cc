@@ -26,6 +26,7 @@ obs::RunReport BuildRunReport(const PreparedDataset& data,
   report.holdout = config.holdout;
   report.cache = data.feature_cache;
   report.kernel_backend = std::string(kernels::BackendName());
+  report.warm_start = std::string(WarmStartModeName(config.warm_start));
 
   report.curve.reserve(result.curve.size());
   for (const IterationStats& stats : result.curve) {

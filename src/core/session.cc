@@ -89,7 +89,10 @@ class ByteReader {
 
 // ---- Section encodings -------------------------------------------------
 
-// "BCFG": the full ActiveLearningConfig (LoopBudget + seed + plateau).
+// "BCFG": the full ActiveLearningConfig (LoopBudget + seed + plateau +
+// warm-start mode). The warm-start byte is a config knob that changes the
+// result stream (like the seed), so it travels with the session and a
+// resumed run continues in the saved mode.
 std::string EncodeConfig(const ActiveLearningConfig& config) {
   ByteWriter w;
   w.U64(config.seed_size);
@@ -98,6 +101,7 @@ std::string EncodeConfig(const ActiveLearningConfig& config) {
   w.F64(config.target_f1);
   w.U64(config.seed);
   w.U64(config.plateau_window);
+  w.U8(static_cast<uint8_t>(config.warm_start));
   return w.Take();
 }
 
@@ -109,14 +113,20 @@ bool DecodeConfig(std::string_view blob, ActiveLearningConfig* config) {
   uint64_t plateau_window = 0;
   if (!r.U64(&seed_size) || !r.U64(&batch_size) || !r.U64(&max_labels) ||
       !r.F64(&config->target_f1) || !r.U64(&config->seed) ||
-      !r.U64(&plateau_window) || !r.AtEnd()) {
+      !r.U64(&plateau_window)) {
     return false;
   }
+  // Optional warm-start byte; snapshots written before the incremental
+  // engine end here, meaning "off".
+  uint8_t warm = 0;
+  if (!r.AtEnd() && (!r.U8(&warm) || warm > 2)) return false;
+  if (!r.AtEnd()) return false;
   if (batch_size == 0) return false;
   config->seed_size = static_cast<size_t>(seed_size);
   config->batch_size = static_cast<size_t>(batch_size);
   config->max_labels = static_cast<size_t>(max_labels);
   config->plateau_window = static_cast<size_t>(plateau_window);
+  config->warm_start = static_cast<WarmStartMode>(warm);
   return true;
 }
 
@@ -266,6 +276,61 @@ bool DecodePlateau(std::string_view blob, size_t* stable_iterations,
   if (!r.AtEnd()) return false;
   *stable_iterations = static_cast<size_t>(stable);
   *previous_predictions = std::move(predictions);
+  return true;
+}
+
+// Full-rescore audit cadence for the incremental progressive-F1 tally:
+// every kEvalAuditInterval incremental evaluations, Step recounts the whole
+// prediction vector and asserts the tally matches exactly.
+constexpr uint32_t kEvalAuditInterval = 16;
+
+// "IEVL": the incremental-evaluation cache — previous predictions (u8),
+// their confusion tally, and the audit countdown. Written only when the
+// incremental engine is active; decode failures degrade to a cold cache
+// rather than failing the restore (the cache is an accelerator, not part of
+// the result stream).
+std::string EncodeEvalCache(const std::vector<uint8_t>& cache, uint64_t tp,
+                            uint64_t fp, uint64_t fn, uint64_t tn,
+                            uint32_t audit_countdown) {
+  ByteWriter w;
+  w.U64(cache.size());
+  std::string out = w.Take();
+  out.append(reinterpret_cast<const char*>(cache.data()), cache.size());
+  ByteWriter tail;
+  tail.U64(tp);
+  tail.U64(fp);
+  tail.U64(fn);
+  tail.U64(tn);
+  tail.U32(audit_countdown);
+  out += tail.Take();
+  return out;
+}
+
+bool DecodeEvalCache(std::string_view blob, std::vector<uint8_t>* cache,
+                     uint64_t* tp, uint64_t* fp, uint64_t* fn, uint64_t* tn,
+                     uint32_t* audit_countdown) {
+  ByteReader r(blob);
+  uint64_t count = 0;
+  if (!r.U64(&count) || count > blob.size()) return false;
+  std::vector<uint8_t> parsed(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!r.U8(&parsed[i]) || parsed[i] > 1) return false;
+  }
+  uint64_t sums[4] = {0, 0, 0, 0};
+  uint32_t countdown = 0;
+  if (!r.U64(&sums[0]) || !r.U64(&sums[1]) || !r.U64(&sums[2]) ||
+      !r.U64(&sums[3]) || !r.U32(&countdown) || !r.AtEnd()) {
+    return false;
+  }
+  // The tally must account for exactly the cached rows.
+  if (sums[0] + sums[1] + sums[2] + sums[3] != count) return false;
+  if (countdown == 0 || countdown > kEvalAuditInterval) return false;
+  *cache = std::move(parsed);
+  *tp = sums[0];
+  *fp = sums[1];
+  *fn = sums[2];
+  *tn = sums[3];
+  *audit_countdown = countdown;
   return true;
 }
 
@@ -534,10 +599,16 @@ bool LabelingSession::Step() {
   stats_.iteration = iteration_;
   stats_.labels_used = pool_.num_labeled();
 
-  // 1. Train on the cumulative labeled data.
+  // 1. Train on the cumulative labeled data. Mode kOn asks the learner to
+  // warm-start from the previous iteration's model; kOff/kAuto always refit
+  // cold, keeping the model stream bitwise-identical to the baselines.
   {
     obs::ObsSpan train_span("loop.train", "core");
-    learner_.Fit(pool_.ActiveLabeledFeatures(), pool_.ActiveLabeledLabels());
+    const FitHint hint = config_.warm_start == WarmStartMode::kOn
+                             ? FitHint::kWarm
+                             : FitHint::kCold;
+    learner_.Fit(pool_.ActiveLabeledFeatures(), pool_.ActiveLabeledLabels(),
+                 hint);
     stats_.train_seconds = train_span.Close();
   }
 
@@ -555,7 +626,9 @@ bool LabelingSession::Step() {
     // One batched sweep through the learner's vector kernel (the fan-out
     // runs under "ml.batch" inside this evaluate span).
     learner_.PredictBatch(pool_.features(), eval_rows, predictions.data());
-    stats_.metrics = evaluator_.Evaluate(predictions);
+    stats_.metrics = config_.warm_start != WarmStartMode::kOff
+                         ? EvaluateIncremental(predictions)
+                         : evaluator_.Evaluate(predictions);
     CollectInterpretability(learner_, &stats_);
 
     // Plateau detection: count consecutive iterations whose predictions
@@ -713,6 +786,92 @@ bool LabelingSession::Reject(std::string message) {
   return false;
 }
 
+void LabelingSession::ResetEvalCache() {
+  eval_cache_.clear();
+  eval_tp_ = eval_fp_ = eval_fn_ = eval_tn_ = 0;
+  eval_audit_countdown_ = 0;
+}
+
+BinaryMetrics LabelingSession::EvaluateIncremental(
+    const std::vector<int>& predictions) {
+  const std::vector<int>& truth = evaluator_.eval_truth();
+  ALEM_CHECK_EQ(predictions.size(), truth.size());
+  static obs::Counter& rescored =
+      obs::MetricsRegistry::Global().GetCounter("eval.rows_rescored");
+  static obs::Gauge& pool_rows =
+      obs::MetricsRegistry::Global().GetGauge("eval.pool_rows");
+  const size_t n = predictions.size();
+  // Published so tooling can bound eval.rows_rescored against the pool
+  // size (tools/trace_summary.py --check).
+  pool_rows.Set(static_cast<double>(n));
+
+  auto full_count = [&](uint64_t* tp, uint64_t* fp, uint64_t* fn,
+                        uint64_t* tn) {
+    *tp = *fp = *fn = *tn = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool predicted = predictions[i] == 1;
+      const bool actual = truth[i] == 1;
+      uint64_t& bucket = predicted ? (actual ? *tp : *fp)
+                                   : (actual ? *fn : *tn);
+      ++bucket;
+    }
+  };
+
+  if (eval_cache_.size() != n) {
+    // Cold cache (first incremental iteration, or restore fallback): one
+    // full rescore seeds the tally.
+    full_count(&eval_tp_, &eval_fp_, &eval_fn_, &eval_tn_);
+    eval_cache_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      eval_cache_[i] = static_cast<uint8_t>(predictions[i] == 1 ? 1 : 0);
+    }
+    eval_audit_countdown_ = kEvalAuditInterval;
+    rescored.Add(n);
+    return MetricsFromCounts(eval_tp_, eval_fp_, eval_fn_, eval_tn_);
+  }
+
+  // Warm path: move only the changed rows between confusion buckets. The
+  // tally stays exactly the full recount by induction, and the returned
+  // doubles are bitwise-equal because MetricsFromCounts is the single
+  // counts-to-metrics function.
+  uint64_t changed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t current = predictions[i] == 1 ? 1 : 0;
+    const uint8_t previous = eval_cache_[i];
+    if (current == previous) continue;
+    ++changed;
+    const bool actual = truth[i] == 1;
+    if (previous == 1) {
+      --(actual ? eval_tp_ : eval_fp_);
+    } else {
+      --(actual ? eval_fn_ : eval_tn_);
+    }
+    if (current == 1) {
+      ++(actual ? eval_tp_ : eval_fp_);
+    } else {
+      ++(actual ? eval_fn_ : eval_tn_);
+    }
+    eval_cache_[i] = current;
+  }
+  rescored.Add(changed);
+
+  // Periodic audit: recount everything and require exact agreement.
+  if (--eval_audit_countdown_ == 0) {
+    eval_audit_countdown_ = kEvalAuditInterval;
+    uint64_t tp = 0;
+    uint64_t fp = 0;
+    uint64_t fn = 0;
+    uint64_t tn = 0;
+    full_count(&tp, &fp, &fn, &tn);
+    rescored.Add(n);
+    ALEM_CHECK_EQ(tp, eval_tp_);
+    ALEM_CHECK_EQ(fp, eval_fp_);
+    ALEM_CHECK_EQ(fn, eval_fn_);
+    ALEM_CHECK_EQ(tn, eval_tn_);
+  }
+  return MetricsFromCounts(eval_tp_, eval_fp_, eval_fn_, eval_tn_);
+}
+
 // ---- Snapshot / restore ------------------------------------------------
 
 bool LabelingSession::SaveTo(SessionSnapshot* snapshot,
@@ -734,6 +893,13 @@ bool LabelingSession::SaveTo(SessionSnapshot* snapshot,
   snapshot->set("LRNR", learner_.SaveModel());
   snapshot->set("SLCT", selector_.SaveState());
   snapshot->set("ORCL", oracle_.SaveState());
+  // The incremental-eval cache travels only when the engine is on and warm:
+  // carrying it keeps eval.rows_rescored identical across save/resume.
+  if (config_.warm_start != WarmStartMode::kOff && !eval_cache_.empty()) {
+    snapshot->set("IEVL",
+                  EncodeEvalCache(eval_cache_, eval_tp_, eval_fp_, eval_fn_,
+                                  eval_tn_, eval_audit_countdown_));
+  }
   return true;
 }
 
@@ -816,6 +982,19 @@ std::unique_ptr<LabelingSession> LabelingSession::Restore(
   session->curve_ = std::move(curve);
   session->stable_iterations_ = stable_iterations;
   session->previous_predictions_ = std::move(previous_predictions);
+  // Incremental-eval cache: best-effort. Absent or malformed (corrupt bytes
+  // that still passed the container checksum, or a tally that cannot be
+  // right) falls back to a cold cache — the next Step() does one full
+  // rescore and re-seeds the tally — rather than failing the restore.
+  if (session->config_.warm_start != WarmStartMode::kOff &&
+      snapshot.has("IEVL")) {
+    if (!DecodeEvalCache(snapshot.section("IEVL"), &session->eval_cache_,
+                         &session->eval_tp_, &session->eval_fp_,
+                         &session->eval_fn_, &session->eval_tn_,
+                         &session->eval_audit_countdown_)) {
+      session->ResetEvalCache();
+    }
+  }
   if (session->state_ == SessionState::kFinished) {
     // Nothing left to run; close the run span the restoring constructor
     // opened so the trace does not dangle.

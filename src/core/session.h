@@ -197,6 +197,15 @@ class LabelingSession {
   void Finish(StopReason reason);
   bool Reject(std::string message);
 
+  // Delta-based progressive F1 (warm_start != kOff; docs/training.md):
+  // updates the TP/FP/FN/TN tally for only the rows whose prediction changed
+  // since the cached previous iteration, falling back to a full rescore when
+  // the cache is cold and auditing against one periodically. Counts updated
+  // rows into eval.rows_rescored. Bitwise-equal doubles to a full
+  // Evaluate(): both funnel through MetricsFromCounts.
+  BinaryMetrics EvaluateIncremental(const std::vector<int>& predictions);
+  void ResetEvalCache();
+
   Learner& learner_;
   ExampleSelector& selector_;
   Oracle& oracle_;
@@ -218,6 +227,20 @@ class LabelingSession {
   // Plateau-termination state (config.plateau_window > 0).
   std::vector<int> previous_predictions_;
   size_t stable_iterations_ = 0;
+
+  // Incremental-evaluation cache (warm_start != kOff): the previous
+  // iteration's predictions aligned with evaluator_.eval_rows() (empty =
+  // cold, full rescore next Step), the confusion tally they imply, and the
+  // countdown to the next full-rescore audit. Snapshotted as the "IEVL"
+  // section so eval.rows_rescored stitches exactly across save/resume; a
+  // malformed or absent section degrades to a cold cache, never a restore
+  // failure.
+  std::vector<uint8_t> eval_cache_;
+  uint64_t eval_tp_ = 0;
+  uint64_t eval_fp_ = 0;
+  uint64_t eval_fn_ = 0;
+  uint64_t eval_tn_ = 0;
+  uint32_t eval_audit_countdown_ = 0;
 
   // The loop.run / loop.iteration trace spans outlive single calls, so the
   // session holds them open across the step-wise API (ObsSpan is

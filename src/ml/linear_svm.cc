@@ -11,15 +11,54 @@
 
 namespace alem {
 
+namespace {
+
+// Deterministic seed for a warm refit over n labeled examples: mixes the
+// configured seed with n (splitmix-style constant) so each growth step draws
+// a fresh sampling stream, while staying a pure function of (seed, n) — the
+// restartability contract needs no hidden step counter.
+uint64_t WarmSeed(uint64_t seed, size_t n) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(n) + 1));
+}
+
+}  // namespace
+
 void LinearSvm::Fit(const FeatureMatrix& features,
                     const std::vector<int>& labels) {
+  weights_.assign(features.dims(), 0.0);
+  bias_ = 0.0;
+  RunSgd(features, labels, static_cast<size_t>(config_.epochs),
+         static_cast<uint64_t>(config_.t0), config_.seed,
+         /*average_tail=*/false);
+}
+
+bool LinearSvm::FitWarm(const FeatureMatrix& features,
+                        const std::vector<int>& labels) {
+  if (!trained() || weights_.size() != features.dims()) return false;
+  const size_t n = features.rows();
+  // The warm refit runs a short Pegasos pass from the previous weights with
+  // the step schedule of a *fresh* warm_epochs-epoch run (eta from
+  // 1/(lambda * (t0 + warm_epochs * n))): continuing the cold schedule where
+  // it decayed to would leave steps too small to adapt to the new labels.
+  // The short run's last iterate is noisy, so the warm path averages the
+  // tail-half iterates (averaged Pegasos) — the cold path stays last-iterate
+  // to preserve the golden baselines bitwise. Everything here is a pure
+  // function of (weights, data, config), which keeps warm fits restartable.
+  const uint64_t t_offset = static_cast<uint64_t>(config_.t0) +
+                            static_cast<uint64_t>(config_.warm_epochs) * n;
+  RunSgd(features, labels, static_cast<size_t>(config_.warm_epochs), t_offset,
+         WarmSeed(config_.seed, n), /*average_tail=*/true);
+  return true;
+}
+
+void LinearSvm::RunSgd(const FeatureMatrix& features,
+                       const std::vector<int>& labels, size_t epochs,
+                       uint64_t t_offset, uint64_t rng_seed,
+                       bool average_tail) {
   ALEM_CHECK_EQ(features.rows(), labels.size());
   ALEM_CHECK_GT(features.rows(), 0u);
   const size_t n = features.rows();
   const size_t d = features.dims();
-
-  weights_.assign(d, 0.0);
-  bias_ = 0.0;
 
   std::vector<size_t> positives;
   std::vector<size_t> negatives;
@@ -29,11 +68,18 @@ void LinearSvm::Fit(const FeatureMatrix& features,
   const bool balance =
       config_.balance_classes && !positives.empty() && !negatives.empty();
 
-  Rng rng(config_.seed);
+  Rng rng(rng_seed);
   const double lambda = config_.lambda;
   // Pegasos norm bound: the optimum satisfies ||w|| <= 1/sqrt(lambda).
   const double norm_bound = 1.0 / std::sqrt(lambda);
-  const size_t steps = static_cast<size_t>(config_.epochs) * n;
+  const size_t steps = epochs * n;
+  // Tail averaging (warm path only): accumulate the iterates of the second
+  // half of the run and return their mean instead of the last iterate.
+  const size_t average_from = average_tail ? steps / 2 + 1 : steps + 1;
+  std::vector<double> weight_sum;
+  double bias_sum = 0.0;
+  size_t averaged = 0;
+  if (average_tail) weight_sum.assign(d, 0.0);
   for (size_t t = 1; t <= steps; ++t) {
     size_t index;
     if (balance) {
@@ -45,8 +91,7 @@ void LinearSvm::Fit(const FeatureMatrix& features,
     }
     const float* x = features.Row(index);
     const double y = labels[index] == 1 ? 1.0 : -1.0;
-    const double eta =
-        1.0 / (lambda * static_cast<double>(t + config_.t0));
+    const double eta = 1.0 / (lambda * static_cast<double>(t + t_offset));
 
     double dot = bias_;
     for (size_t j = 0; j < d; ++j) dot += weights_[j] * x[j];
@@ -64,6 +109,16 @@ void LinearSvm::Fit(const FeatureMatrix& features,
       const double shrink = norm_bound / std::sqrt(norm_squared);
       for (size_t j = 0; j < d; ++j) weights_[j] *= shrink;
     }
+    if (t >= average_from) {
+      for (size_t j = 0; j < d; ++j) weight_sum[j] += weights_[j];
+      bias_sum += bias_;
+      ++averaged;
+    }
+  }
+  if (averaged > 0) {
+    const double inv = 1.0 / static_cast<double>(averaged);
+    for (size_t j = 0; j < d; ++j) weights_[j] = weight_sum[j] * inv;
+    bias_ = bias_sum * inv;
   }
 }
 

@@ -33,6 +33,10 @@ struct LinearSvmConfig {
   // equal probability, which counteracts the heavy class skew of EM pair
   // spaces (equivalent to cost-sensitive hinge loss).
   bool balance_classes = true;
+  // Passes over the data for a warm-start refit (FitWarm): the model resumes
+  // from its current weights, so far fewer passes are needed than a cold fit
+  // (docs/training.md). Not part of the serialized model format.
+  int warm_epochs = 10;
   uint64_t seed = 1;
 };
 
@@ -44,6 +48,16 @@ class LinearSvm {
   // Trains on rows of `features` with labels in {0, 1}. Retraining from
   // scratch replaces the previous model.
   void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Warm-start refit: resumes Pegasos from the current weights instead of
+  // zero, running `warm_epochs` passes with the step counter continued past
+  // a full cold schedule (so step sizes stay in the fine-tuning regime).
+  // A pure function of (current weights, features, labels, config) — no
+  // hidden optimizer state — so a refit after model save/restore is bitwise
+  // identical to one in the original process (deterministic-restartable,
+  // docs/training.md). Returns false (model untouched) when untrained or
+  // the feature dimensionality changed; callers then fall back to Fit.
+  bool FitWarm(const FeatureMatrix& features, const std::vector<int>& labels);
 
   // Signed distance proxy: w . x + b (not normalized by ||w||; the margin
   // selector only compares magnitudes so the scale cancels).
@@ -75,6 +89,17 @@ class LinearSvm {
  private:
   friend std::string SerializeSvm(const LinearSvm& model);
   friend bool DeserializeSvm(const std::string& text, LinearSvm* model);
+
+  // Shared Pegasos loop: `epochs` passes over the data starting from the
+  // current weights, with step sizes 1/(lambda * (t + t_offset)) and example
+  // sampling driven by `rng_seed`. Fit resets the weights first; FitWarm
+  // continues from them. With `average_tail` the result is the mean of the
+  // second-half iterates (averaged Pegasos) instead of the last iterate —
+  // the warm path uses this to tame short-run SGD noise; the cold path must
+  // not, so the golden baselines stay bitwise.
+  void RunSgd(const FeatureMatrix& features, const std::vector<int>& labels,
+              size_t epochs, uint64_t t_offset, uint64_t rng_seed,
+              bool average_tail);
 
   LinearSvmConfig config_;
   std::vector<double> weights_;

@@ -7,20 +7,34 @@ namespace alem {
 BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& predictions,
                                    const std::vector<int>& labels) {
   ALEM_CHECK_EQ(predictions.size(), labels.size());
-  BinaryMetrics metrics;
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  size_t tn = 0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     const bool predicted = predictions[i] == 1;
     const bool actual = labels[i] == 1;
     if (predicted && actual) {
-      ++metrics.true_positives;
+      ++tp;
     } else if (predicted && !actual) {
-      ++metrics.false_positives;
+      ++fp;
     } else if (!predicted && actual) {
-      ++metrics.false_negatives;
+      ++fn;
     } else {
-      ++metrics.true_negatives;
+      ++tn;
     }
   }
+  return MetricsFromCounts(tp, fp, fn, tn);
+}
+
+BinaryMetrics MetricsFromCounts(size_t true_positives, size_t false_positives,
+                                size_t false_negatives,
+                                size_t true_negatives) {
+  BinaryMetrics metrics;
+  metrics.true_positives = true_positives;
+  metrics.false_positives = false_positives;
+  metrics.false_negatives = false_negatives;
+  metrics.true_negatives = true_negatives;
   const size_t predicted_positives =
       metrics.true_positives + metrics.false_positives;
   const size_t actual_positives =

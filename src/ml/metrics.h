@@ -29,6 +29,13 @@ struct BinaryMetrics {
 BinaryMetrics ComputeBinaryMetrics(const std::vector<int>& predictions,
                                    const std::vector<int>& labels);
 
+// Derives precision/recall/F1 from confusion-matrix counts. Both
+// ComputeBinaryMetrics and the incremental progressive-F1 tally in
+// LabelingSession funnel through this, so incrementally maintained counts
+// produce bit-identical doubles to a full rescore (docs/training.md).
+BinaryMetrics MetricsFromCounts(size_t true_positives, size_t false_positives,
+                                size_t false_negatives, size_t true_negatives);
+
 }  // namespace alem
 
 #endif  // ALEM_ML_METRICS_H_

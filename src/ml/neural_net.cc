@@ -68,11 +68,46 @@ void NeuralNetwork::InitializeLayers(size_t input_dims) {
 
 void NeuralNetwork::Fit(const FeatureMatrix& features,
                         const std::vector<int>& labels) {
+  InitializeLayers(features.dims());
+  Train(features, labels, config_.epochs, config_.learning_rate,
+        config_.seed ^ 0x5bd1e995u);
+}
+
+bool NeuralNetwork::FitWarm(const FeatureMatrix& features,
+                            const std::vector<int>& labels) {
+  if (!trained() ||
+      static_cast<size_t>(layers_.front().in) != features.dims()) {
+    return false;
+  }
+  // Zero the momentum velocities: the refit then depends only on the weights
+  // and batch-norm statistics — exactly what SaveModel/RestoreModel carry.
+  for (Layer& layer : layers_) {
+    std::fill(layer.v_weights.begin(), layer.v_weights.end(), 0.0);
+    std::fill(layer.v_bias.begin(), layer.v_bias.end(), 0.0);
+    std::fill(layer.v_gamma.begin(), layer.v_gamma.end(), 0.0);
+    std::fill(layer.v_beta.begin(), layer.v_beta.end(), 0.0);
+  }
+  std::fill(v_out_weights_.begin(), v_out_weights_.end(), 0.0);
+  v_out_bias_ = 0.0;
+  // Resume at the step size a full cold schedule would have reached, and
+  // draw a fresh shuffle/dropout stream per labeled-set size (pure function
+  // of (seed, n); same mixing as LinearSvm::FitWarm).
+  const double warm_rate =
+      config_.learning_rate *
+      std::pow(config_.learning_rate_decay, config_.epochs);
+  const uint64_t warm_seed =
+      (config_.seed ^ 0x5bd1e995u) ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(features.rows()) + 1));
+  Train(features, labels, config_.warm_epochs, warm_rate, warm_seed);
+  return true;
+}
+
+void NeuralNetwork::Train(const FeatureMatrix& features,
+                          const std::vector<int>& labels, int epochs,
+                          double initial_learning_rate, uint64_t rng_seed) {
   ALEM_CHECK_EQ(features.rows(), labels.size());
   ALEM_CHECK_GT(features.rows(), 0u);
   const size_t n = features.rows();
-  const size_t input_dims = features.dims();
-  InitializeLayers(input_dims);
 
   // Class-skew compensation: positive examples get a larger gradient weight.
   size_t num_positives = 0;
@@ -85,7 +120,7 @@ void NeuralNetwork::Fit(const FeatureMatrix& features,
                  config_.positive_weight_cap);
   }
 
-  Rng rng(config_.seed ^ 0x5bd1e995u);
+  Rng rng(rng_seed);
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
 
@@ -106,8 +141,8 @@ void NeuralNetwork::Fit(const FeatureMatrix& features,
   };
   std::vector<LayerScratch> scratch(num_layers);
 
-  double learning_rate = config_.learning_rate;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  double learning_rate = initial_learning_rate;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
     rng.Shuffle(order);
     for (size_t start = 0; start < n; start += batch_size) {
       const size_t b = std::min(batch_size, n - start);

@@ -36,6 +36,10 @@ struct NeuralNetConfig {
   // Gradient weight multiplier for positive examples is
   // min(#neg / #pos, positive_weight_cap); counteracts class skew.
   double positive_weight_cap = 10.0;
+  // Epochs for a warm-start refit (FitWarm): training resumes from the
+  // current weights, so far fewer passes are needed than a cold fit
+  // (docs/training.md). Not part of the serialized model format.
+  int warm_epochs = 10;
   uint64_t seed = 1;
 };
 
@@ -46,6 +50,16 @@ class NeuralNetwork {
 
   // Trains from scratch on labels in {0, 1}.
   void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
+
+  // Warm-start refit: resumes SGD from the current weights (and batch-norm
+  // running statistics) for `warm_epochs` epochs, starting at the learning
+  // rate a full cold schedule would have decayed to. Momentum velocities are
+  // zeroed at entry, making the refit a pure function of (current weights,
+  // features, labels, config) — the same contract DeserializeNeuralNet
+  // provides — so a refit after model save/restore is bitwise identical to
+  // one in the original process (docs/training.md). Returns false (model
+  // untouched) when untrained or the input dimensionality changed.
+  bool FitWarm(const FeatureMatrix& features, const std::vector<int>& labels);
 
   // Pre-sigmoid affine output (inference mode: running batch-norm
   // statistics, no dropout). |Margin| near 0 <=> output probability near
@@ -106,6 +120,13 @@ class NeuralNetwork {
   };
 
   void InitializeLayers(size_t input_dims);
+
+  // Shared SGD loop: `epochs` passes from the current weights, starting at
+  // `learning_rate` (decayed per epoch) with shuffling/dropout driven by
+  // `rng_seed`. Fit initializes fresh layers first; FitWarm zeroes the
+  // velocity buffers and continues.
+  void Train(const FeatureMatrix& features, const std::vector<int>& labels,
+             int epochs, double initial_learning_rate, uint64_t rng_seed);
 
   NeuralNetConfig config_;
   std::vector<Layer> layers_;  // Hidden layers.

@@ -1,6 +1,7 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "obs/profile.h"
@@ -9,6 +10,41 @@
 #include "util/rng.h"
 
 namespace alem {
+namespace {
+
+// How many times labeled position p appears in tree t's Poisson-bootstrap
+// sample: a Poisson(1) draw by inverse CDF on a uniform seeded purely from
+// (forest seed, t, p). Stateless by construction — the count for an existing
+// position never changes as the labeled set grows.
+size_t PoissonMembership(uint64_t seed, size_t tree, size_t position) {
+  Rng rng(seed ^ ((tree + 1) * 0x9e3779b97f4a7c15ULL) ^
+          ((position + 1) * 0xbf58476d1ce4e5b9ULL));
+  const double u = rng.NextDouble();
+  double mass = std::exp(-1.0);  // P(k = 0) for Poisson(1).
+  double cumulative = mass;
+  size_t k = 0;
+  while (u > cumulative && k < 16) {
+    ++k;
+    mass /= static_cast<double>(k);
+    cumulative += mass;
+  }
+  return k;
+}
+
+// Stable per-tree fitting seed for warm refits. Unlike the cold path (which
+// draws tree seeds from one sequential stream), this is position-independent
+// so a refit of tree t produces identical randomness at any labeled-set
+// size — the untouched-tree skip relies on it.
+uint64_t WarmTreeSeed(uint64_t seed, size_t tree) {
+  uint64_t h = seed + (tree + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
 
 void RandomForest::Fit(const FeatureMatrix& features,
                        const std::vector<int>& labels) {
@@ -59,6 +95,80 @@ void RandomForest::Fit(const FeatureMatrix& features,
       },
       "ml.forest_fit");
   RebuildFlatForest();
+  last_fit_count_ = 0;  // Cold fits leave the warm scheme.
+}
+
+bool RandomForest::FitWarm(const FeatureMatrix& features,
+                           const std::vector<int>& labels,
+                           size_t* trees_refit) {
+  ALEM_CHECK_EQ(features.rows(), labels.size());
+  ALEM_CHECK_GT(features.rows(), 0u);
+  ALEM_CHECK_GT(config_.num_trees, 0);
+  const size_t num_trees = static_cast<size_t>(config_.num_trees);
+  const size_t n = features.rows();
+  // Without bootstrap every tree trains on the full data, so every new label
+  // touches every tree and warm refits cannot save anything; a shrinking
+  // labeled set breaks the append-only sample property. Both fall back cold.
+  if (!config_.bootstrap) return false;
+  if (last_fit_count_ > 0 && (n < last_fit_count_ || trees_.size() != num_trees)) {
+    return false;
+  }
+
+  // A tree needs refitting iff any position added since the last warm fit
+  // lands in its Poisson sample. The first warm fit (watermark 0) rebuilds
+  // everything — cold-fit trees used the sequential bootstrap, not this
+  // scheme.
+  const bool rebuild_all = last_fit_count_ == 0 || trees_.empty();
+  std::vector<char> refit(num_trees, rebuild_all ? 1 : 0);
+  if (!rebuild_all) {
+    for (size_t t = 0; t < num_trees; ++t) {
+      for (size_t p = last_fit_count_; p < n; ++p) {
+        if (PoissonMembership(config_.seed, t, p) > 0) {
+          refit[t] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  trees_.resize(num_trees);
+  size_t refit_count = 0;
+  for (const char flag : refit) refit_count += flag != 0 ? 1u : 0u;
+  parallel::ParallelFor(
+      0, num_trees, 1,
+      [&](size_t begin, size_t end, size_t chunk) {
+        (void)chunk;
+        for (size_t t = begin; t < end; ++t) {
+          if (refit[t] == 0) continue;
+          std::vector<size_t> sample;
+          sample.reserve(n);
+          for (size_t p = 0; p < n; ++p) {
+            const size_t count = PoissonMembership(config_.seed, t, p);
+            sample.insert(sample.end(), count, p);
+          }
+          // A fully empty sample (possible only for tiny n) falls back to
+          // the whole labeled set, still a pure function of (seed, t, n).
+          if (sample.empty()) {
+            sample.resize(n);
+            std::iota(sample.begin(), sample.end(), 0u);
+          }
+          DecisionTreeConfig tree_config = config_.tree;
+          tree_config.seed = WarmTreeSeed(config_.seed, t);
+          DecisionTree tree(tree_config);
+          FeatureMatrix sampled = features.Gather(sample);
+          std::vector<int> sampled_labels(sample.size());
+          for (size_t i = 0; i < sample.size(); ++i) {
+            sampled_labels[i] = labels[sample[i]];
+          }
+          tree.Fit(sampled, sampled_labels);
+          trees_[t] = std::move(tree);
+        }
+      },
+      "ml.forest_fit");
+  RebuildFlatForest();
+  last_fit_count_ = n;
+  if (trees_refit != nullptr) *trees_refit = refit_count;
+  return true;
 }
 
 void RandomForest::RebuildFlatForest() {

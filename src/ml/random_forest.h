@@ -34,6 +34,26 @@ class RandomForest {
 
   void Fit(const FeatureMatrix& features, const std::vector<int>& labels);
 
+  // Warm-start refit for a labeled set that grew since the last warm fit.
+  // Uses a *stateless Poisson bootstrap*: tree t's sample over n labeled
+  // positions repeats position p `PoissonCount(seed, t, p)` times, where the
+  // count is a pure hash of (config seed, tree, position). Growing the
+  // labeled set therefore only appends to each tree's sample, so a tree
+  // whose count is zero for every new position has exactly the sample it was
+  // last fit on and is skipped — bitwise-preserved (refitting it would use
+  // the identical sample and the same stable per-tree seed). The first warm
+  // fit (or one following a cold Fit, whose sequential bootstrap draws
+  // differ) rebuilds every tree under this scheme. `trees_refit`, when
+  // non-null, receives the number of trees actually re-fit. Returns false
+  // (model untouched) when bootstrap is disabled or the labeled set shrank;
+  // callers then fall back to Fit. See docs/training.md.
+  bool FitWarm(const FeatureMatrix& features, const std::vector<int>& labels,
+               size_t* trees_refit = nullptr);
+
+  // Labeled-set size at the last warm fit (0 = not in the warm scheme).
+  // Serialized with the model so warm refits resume across processes.
+  size_t warm_fit_count() const { return last_fit_count_; }
+
   // Fraction of trees voting positive (the committee agreement statistic).
   double PositiveFraction(const float* x) const;
 
@@ -75,6 +95,9 @@ class RandomForest {
 
   RandomForestConfig config_;
   std::vector<DecisionTree> trees_;
+  // Warm-refit watermark: #labeled examples covered by the current trees'
+  // Poisson-bootstrap samples. Reset to 0 by cold Fit.
+  size_t last_fit_count_ = 0;
   // All trees' nodes concatenated in one contiguous array (16-byte FlatNode
   // layout), plus each tree's root offset — the batch traversal structure.
   std::vector<FlatNode> flat_nodes_;

@@ -174,6 +174,12 @@ std::string SerializeForest(const RandomForest& model) {
       .Line(model.config_.bootstrap ? 1 : 0)
       .Line(model.config_.seed);
   writer.Line(model.trees_.size());
+  // Warm-refit watermark (docs/training.md), written only when the forest is
+  // in the Poisson-bootstrap scheme. Readers that predate it skip straight
+  // to the tree section (located by tag), so the format version stays 1.
+  if (model.last_fit_count_ > 0) {
+    writer.Line(std::string("warm ") + std::to_string(model.last_fit_count_));
+  }
   std::string blob = writer.str();
   for (const DecisionTree& tree : model.trees_) {
     blob += SerializeTree(tree);
@@ -197,6 +203,14 @@ bool DeserializeForest(const std::string& text, RandomForest* model) {
   }
   result.config_.bootstrap = bootstrap != 0;
   if (num_trees == 0 || num_trees > 4096) return false;
+
+  // Optional warm-refit watermark ("warm <count>"); absent in blobs written
+  // before warm-start existed and after cold fits. Anything else here is the
+  // tree section, found by tag below, so a failed read is not an error.
+  std::string maybe_warm;
+  if (in >> maybe_warm && maybe_warm == "warm") {
+    if (!(in >> result.last_fit_count_)) return false;
+  }
 
   // Find the start of the tree section and split on the tree tag.
   const std::string tree_tag = "alem-tree\n";

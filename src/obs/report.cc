@@ -242,6 +242,8 @@ std::string ReportToJson(const RunReport& report) {
   AppendJsonString(&out, report.session);
   out.append(", \"session_resumes\": ");
   AppendJsonUint(&out, report.session_resumes);
+  out.append(", \"warm_start\": ");
+  AppendJsonString(&out, report.warm_start);
   out.append("}");
 
   if (report.kind == "run" || !report.curve.empty()) {
@@ -511,6 +513,8 @@ bool ParseReportJson(std::string_view text, RunReport* report,
     if (cfg.Get("session_resumes", false) != nullptr) {
       parsed.session_resumes = cfg.Uint("session_resumes");
     }
+    const std::string warm_start = cfg.String("warm_start", /*required=*/false);
+    if (!warm_start.empty()) parsed.warm_start = warm_start;
   }
 
   const bool is_run = parsed.kind == "run";

@@ -22,7 +22,8 @@
 //   { "schema_version": 1, "kind": "run"|"bench", "tool": ..., "build": ...,
 //     "config":  { dataset, approach, data_seed, run_seed, scale, threads,
 //                  seed_size, batch_size, max_labels, oracle_noise, holdout,
-//                  cache, kernel_backend, session, session_resumes },
+//                  cache, kernel_backend, session, session_resumes,
+//                  warm_start },
 //     "curve":   [ { iteration, labels_used, precision, recall, f1,
 //                    train_seconds, evaluate_seconds, select_seconds,
 //                    committee_seconds, scoring_seconds, label_seconds,
@@ -199,6 +200,10 @@ struct RunReport {
   // (docs/sessions.md).
   std::string session = "fresh";
   uint64_t session_resumes = 0;
+  // Incremental training + evaluation engine mode the run executed with
+  // ("off", "on", "auto"; docs/training.md). Optional on parse so
+  // pre-warm-start reports stay loadable; defaults to "off".
+  std::string warm_start = "off";
 
   // curve + summary (required for kind "run")
   std::vector<ReportIteration> curve;

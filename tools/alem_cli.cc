@@ -13,7 +13,7 @@
 //       [--max-labels=N] [--batch=N] [--seed-size=N] [--noise=P]
 //       [--holdout] [--scale=S] [--seed=N] [--save-model=PATH] [--quiet]
 //       [--threads=N] [--cache-dir=DIR] [--no-cache]
-//       [--kernel-backend=auto|scalar|avx2]
+//       [--kernel-backend=auto|scalar|avx2] [--warm-start=off|on|auto]
 //       [--trace=PATH.json] [--trace-jsonl=PATH.jsonl] [--metrics=PATH.csv]
 //       [--report=PATH.json] [--telemetry-hz=HZ] [--profile-regions[=CSV]]
 //       Runs one active-learning experiment and prints the learning curve.
@@ -28,7 +28,18 @@
 //       unavailable name is an error — the ALEM_KERNEL_BACKEND env knob
 //       instead warns and falls back to auto). Curves are bitwise-
 //       identical across backends (docs/kernels.md); the choice is
-//       stamped into config.kernel_backend of the report. --trace captures every
+//       stamped into config.kernel_backend of the report. --warm-start
+//       selects the incremental training + evaluation engine
+//       (docs/training.md): off (default) refits cold and rescores the
+//       full pool every iteration — the exact-replay path the golden
+//       baselines pin; on warm-starts refits from the previous model and
+//       keeps the progressive-F1 tally incrementally (curves gated by F1
+//       tolerance, not bitwise); auto keeps cold refits but evaluates
+//       incrementally (curves stay bitwise-identical to off). An unknown
+//       flag value is an error — the ALEM_WARM_START env knob instead
+//       warns and falls back to off. The mode is stamped into
+//       config.warm_start of the report; a resumed session always
+//       continues in the snapshot's mode. --trace captures every
 //       pipeline span (prepare/train/evaluate/select/label/fit) as Chrome
 //       trace-event JSON for chrome://tracing or Perfetto; --metrics dumps
 //       the counter/gauge/histogram registry as CSV; --report writes the
@@ -72,6 +83,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -174,18 +186,38 @@ int SaveModel(const RunResult& result, const std::string& path) {
 }
 
 // Maps the shared run flags onto a RunConfig (used by `run` and the
-// `session` subcommands).
-RunConfig RunConfigFromFlags(const FlagParser& flags,
-                             const ApproachSpec& spec) {
-  RunConfig config;
-  config.approach = spec;
-  config.max_labels = static_cast<size_t>(flags.GetInt("max-labels", 300));
-  config.batch_size = static_cast<size_t>(flags.GetInt("batch", 10));
-  config.seed_size = static_cast<size_t>(flags.GetInt("seed-size", 30));
-  config.oracle_noise = flags.GetDouble("noise", 0.0);
-  config.holdout = flags.GetBool("holdout", false);
-  config.run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
-  return config;
+// `session` subcommands). Returns false (error printed) on an invalid
+// --warm-start value: like --kernel-backend, the explicit flag is a hard
+// error while the forgiving ALEM_WARM_START environment knob warns and
+// falls back to off (docs/training.md).
+bool RunConfigFromFlags(const FlagParser& flags, const ApproachSpec& spec,
+                        RunConfig* config) {
+  config->approach = spec;
+  config->max_labels = static_cast<size_t>(flags.GetInt("max-labels", 300));
+  config->batch_size = static_cast<size_t>(flags.GetInt("batch", 10));
+  config->seed_size = static_cast<size_t>(flags.GetInt("seed-size", 30));
+  config->oracle_noise = flags.GetDouble("noise", 0.0);
+  config->holdout = flags.GetBool("holdout", false);
+  config->run_seed = static_cast<uint64_t>(flags.GetInt("run-seed", 1));
+  if (flags.Has("warm-start")) {
+    const std::string value = flags.GetString("warm-start", "off");
+    if (!ParseWarmStartMode(value, &config->warm_start)) {
+      std::fprintf(stderr,
+                   "error: --warm-start: unknown mode '%s' (expected "
+                   "off|on|auto)\n",
+                   value.c_str());
+      return false;
+    }
+  } else if (const char* env = std::getenv("ALEM_WARM_START")) {
+    if (!ParseWarmStartMode(env, &config->warm_start)) {
+      std::fprintf(stderr,
+                   "warning: ALEM_WARM_START: unknown mode '%s'; using "
+                   "off\n",
+                   env);
+      config->warm_start = WarmStartMode::kOff;
+    }
+  }
+  return true;
 }
 
 void PrintRunHeader(const PreparedDataset& data, const RunConfig& config) {
@@ -271,7 +303,8 @@ int CommandRun(const FlagParser& flags) {
   const PreparedDataset data =
       PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
 
-  const RunConfig config = RunConfigFromFlags(flags, spec);
+  RunConfig config;
+  if (!RunConfigFromFlags(flags, spec, &config)) return 1;
   PrintRunHeader(data, config);
   const RunResult result = RunActiveLearning(data, config);
   PrintRunResult(flags, result);
@@ -307,7 +340,8 @@ int CommandSessionStart(const FlagParser& flags, bool save) {
   const PreparedDataset data =
       PrepareDataset(PrepareOptionsFromFlags(flags, artifacts, profile));
 
-  const RunConfig config = RunConfigFromFlags(flags, spec);
+  RunConfig config;
+  if (!RunConfigFromFlags(flags, spec, &config)) return 1;
   PrintRunHeader(data, config);
 
   SessionRunner runner(data, config);
@@ -521,6 +555,8 @@ int Main(int argc, char** argv) {
       "--trace=out.json --metrics=out.csv\n"
       "  alem_cli run --dataset=Abt-Buy --approach=trees10 "
       "--report=out.report.json\n"
+      "  alem_cli run --dataset=Abt-Buy --approach=linear-margin "
+      "--warm-start=on\n"
       "  alem_cli session save --dataset=Abt-Buy --approach=linear-margin "
       "--snapshot=run.alss --stop-after=2\n"
       "  alem_cli session resume --snapshot=run.alss "

@@ -18,7 +18,11 @@
 # Baselines are generated with --kernel-backend=scalar so they pin the
 # portable reference path regardless of the refreshing host's CPU; the
 # SIMD backends are required to reproduce these curves bitwise anyway
-# (docs/kernels.md), and report_gate.sh stage 7 enforces that.
+# (docs/kernels.md), and report_gate.sh stage 7 enforces that. They are
+# also pinned to --warm-start=off (cold refits + full rescores, immune to
+# any ALEM_WARM_START in the refreshing environment): the baselines define
+# the exact-replay contract, and the incremental engine is gated against
+# them by report_gate.sh stage 10 (docs/training.md).
 #
 # Usage: tools/refresh_baseline.sh [BUILD_DIR]   (default: build)
 set -eu
@@ -48,7 +52,7 @@ for approach in linear-margin trees5 linear-qbc4; do
   mkdir -p "$work/cache_$name"
   "$cli" run --dataset=Abt-Buy --approach="$approach" --scale=0.25 \
       --max-labels=60 --threads=1 --quiet --kernel-backend=scalar \
-      --cache-dir="$work/cache_$name" --report="$baseline"
+      --warm-start=off --cache-dir="$work/cache_$name" --report="$baseline"
   echo "baseline refreshed: $baseline"
 done
 echo "review with: $build_dir/tools/alem_report show <baseline>"

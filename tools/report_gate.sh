@@ -49,6 +49,14 @@
 #      committed uninterrupted baseline with the curve exact and every
 #      counter exact (--exact-curve --counter-tol=0), stamped
 #      config.session="resumed" / session_resumes=1 (docs/sessions.md).
+#  10. Incremental engine (docs/training.md): a --warm-start=auto run must
+#      replay the committed cold baseline bitwise (cold refits +
+#      incremental tally == exact replay); a --warm-start=on run must stay
+#      within the F1 tolerance of it with warm/cold fit counters
+#      consistent and config.warm_start stamped; and the warm run paused
+#      after 2 iterations and resumed in a fresh process must replay the
+#      uninterrupted warm run bitwise (warm refits are restartable; the
+#      IEVL section stitches eval.rows_rescored exactly).
 set -eu
 
 build_dir="${1:-build}"
@@ -84,14 +92,14 @@ run_cli() {
       "$@" > /dev/null
 }
 
-echo "[1/9] determinism: cold cached t1 curve == uncached t4 curve"
+echo "[1/10] determinism: cold cached t1 curve == uncached t4 curve"
 mkdir -p "$work/cache"
 run_cli linear-margin 1 "$work/t1.report.json" --cache-dir="$work/cache"
 run_cli linear-margin 4 "$work/t4.report.json" --no-cache
 "$report_tool" check "$work/t1.report.json" "$work/t4.report.json" \
     --exact-curve
 
-echo "[2/9] cache warmth: warm rerun identical, provenance says hit"
+echo "[2/10] cache warmth: warm rerun identical, provenance says hit"
 run_cli linear-margin 1 "$work/warm.report.json" --cache-dir="$work/cache"
 "$report_tool" check "$work/t1.report.json" "$work/warm.report.json" \
     --exact-curve
@@ -111,7 +119,7 @@ assert warm["counters"].get("featurize.cache.hit") == 1, warm["counters"]
 assert warm["counters"].get("featurize.cache.miss", 0) == 0, warm["counters"]
 EOF
 
-echo "[3/9] quality: three golden workloads within tolerance, counters exact"
+echo "[3/10] quality: three golden workloads within tolerance, counters exact"
 for approach in linear-margin trees5 linear-qbc4; do
   name="$(printf '%s' "$approach" | tr '-' '_')"
   candidate="$work/cand_$name.report.json"
@@ -126,7 +134,7 @@ for approach in linear-margin trees5 linear-qbc4; do
       --counter-tol=0
 done
 
-echo "[4/9] sensitivity: perturbed baseline must fail the check"
+echo "[4/10] sensitivity: perturbed baseline must fail the check"
 python3 - "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
     "$work/perturbed.json" <<'EOF'
 import json, sys
@@ -146,7 +154,7 @@ if "$report_tool" check "$work/perturbed.json" "$work/t1.report.json" \
 fi
 echo "perturbed baseline rejected as expected"
 
-echo "[5/9] bench path: ALEM_REPORT_DIR export + aggregation"
+echo "[5/10] bench path: ALEM_REPORT_DIR export + aggregation"
 mkdir -p "$work/reports"
 ALEM_REPORT_DIR="$work/reports" ALEM_SCALE=0.2 ALEM_MAX_LABELS=40 \
     ALEM_THREADS=2 "$build_dir/bench/bench_fig10d_blocking_time" \
@@ -162,7 +170,7 @@ assert agg["kind"] == "aggregate", agg.get("kind")
 assert len(agg["reports"]) >= 1, "aggregate rolled up no reports"
 EOF
 
-echo "[6/9] tail latency: telemetry run, pool invariant, p95 determinism"
+echo "[6/10] tail latency: telemetry run, pool invariant, p95 determinism"
 run_cli linear-margin 4 "$work/lat4.report.json" --no-cache \
     --telemetry-hz=50 --trace="$work/lat4.trace.json" \
     --metrics="$work/lat4.metrics.csv"
@@ -209,7 +217,7 @@ if "$report_tool" check "$work/lat_perturbed.json" "$work/lat4.report.json" \
 fi
 echo "perturbed latency baseline rejected as expected"
 
-echo "[7/9] kernel backends: scalar golden replay, per-backend equivalence"
+echo "[7/10] kernel backends: scalar golden replay, per-backend equivalence"
 # Scalar-forced cold runs must replay all three committed baselines with
 # every counter exact — pins the scalar reference path end to end.
 for approach in linear-margin trees5 linear-qbc4; do
@@ -250,7 +258,7 @@ assert stamped == "scalar", (
     f"config.kernel_backend is {stamped!r}, expected 'scalar'")
 EOF
 
-echo "[8/9] roofline profile: bitwise replay, work-counter invariants"
+echo "[8/10] roofline profile: bitwise replay, work-counter invariants"
 # A profiled cold run (default curated region set) must not perturb the
 # workload: the curve and every counter must replay the golden baseline
 # exactly, even while HW counters and work accounting are live.
@@ -313,7 +321,7 @@ assert {"sim.batch", "ml.batch"} <= names, names
 assert all(r["items_per_sec"] >= 0 for r in profile["regions"])
 EOF
 
-echo "[9/9] resumable sessions: half-run save, fresh-process resume, stitch"
+echo "[9/10] resumable sessions: half-run save, fresh-process resume, stitch"
 # Pause the golden linear-margin workload after 2 iterations (cold cache,
 # matching the baseline's featurize.cache.* counters), resume it in a NEW
 # process at 4 threads with the cache disabled, and require the stitched
@@ -342,5 +350,83 @@ assert config.get("session") == "resumed", config.get("session")
 assert config.get("session_resumes") == 1, config.get("session_resumes")
 EOF
 echo "resumed run replays the golden baseline exactly"
+
+echo "[10/10] incremental engine: auto bitwise, warm gated, warm resume"
+# auto = incremental evaluation with cold refits: the model stream is
+# untouched, so the curve and every baseline counter must replay the
+# committed cold baseline exactly.
+mkdir -p "$work/cache_warm_auto"
+run_cli linear-margin 1 "$work/warm_auto.report.json" \
+    --cache-dir="$work/cache_warm_auto" --warm-start=auto
+"$report_tool" check \
+    "$baseline_dir/cli_abtbuy_linear_margin.report.json" \
+    "$work/warm_auto.report.json" --exact-curve --counter-tol=0
+# on = warm refits: the curve is gated against a cold run by F1 tolerance,
+# not bitwise. The comparison runs at 150 labels against a freshly
+# generated cold reference rather than the committed 60-label baseline:
+# at 60 labels the cold curve's own run-seed spread is ~0.1 F1 (last-
+# iterate Pegasos noise on tiny label sets), so a tolerance able to pass
+# there would gate nothing. At 150 labels both paths converge and the
+# warm-vs-cold gap is within 0.05 (docs/training.md).
+"$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
+    --max-labels=150 --threads=1 --quiet --no-cache --warm-start=off \
+    --report="$work/warm_cold_ref.report.json" > /dev/null
+"$cli" run --dataset=Abt-Buy --approach=linear-margin --scale=0.25 \
+    --max-labels=150 --threads=1 --quiet --no-cache --warm-start=on \
+    --report="$work/warm_on150.report.json" > /dev/null
+"$report_tool" check \
+    "$work/warm_cold_ref.report.json" "$work/warm_on150.report.json" \
+    --f1-tol=0.05
+# The 60-label warm run feeds the counter-identity asserts and the
+# save/resume replay below.
+mkdir -p "$work/cache_warm_on"
+run_cli linear-margin 1 "$work/warm_on.report.json" \
+    --cache-dir="$work/cache_warm_on" --warm-start=on
+python3 "$repo_root/tools/trace_summary.py" --check \
+    --report "$work/warm_on.report.json"
+python3 - "$work/warm_on.report.json" "$work/warm_auto.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    on = json.load(f)
+with open(sys.argv[2]) as f:
+    auto = json.load(f)
+assert on["config"].get("warm_start") == "on", on["config"]
+assert auto["config"].get("warm_start") == "auto", auto["config"]
+for report, label in ((on, "on"), (auto, "auto")):
+    c = report["counters"]
+    fits = c.get("ml.fit_calls", 0)
+    warm = c.get("ml.warm_fits", 0)
+    cold = c.get("ml.cold_fits", 0)
+    assert fits > 0 and warm + cold == fits, (
+        f"{label}: warm {warm} + cold {cold} != fit_calls {fits}")
+    assert c.get("eval.rows_rescored", 0) > 0, f"{label}: no rescore counter"
+# Warm mode must actually take the warm path after the first (cold) fit.
+assert on["counters"]["ml.warm_fits"] == on["counters"]["ml.fit_calls"] - 1, \
+    on["counters"]
+assert auto["counters"].get("ml.warm_fits", 0) == 0, auto["counters"]
+EOF
+# Warm save/resume: pause the warm run after 2 iterations and resume in a
+# fresh process — the stitched report must replay the uninterrupted warm
+# run bitwise (curve exact, every counter exact, including the stitched
+# eval.rows_rescored carried by the IEVL snapshot section).
+mkdir -p "$work/cache_warm_session"
+"$cli" session save --dataset=Abt-Buy --approach=linear-margin \
+    --scale=0.25 --max-labels=60 --threads=1 --warm-start=on \
+    --cache-dir="$work/cache_warm_session" \
+    --snapshot="$work/warm_gate.alss" --stop-after=2 > /dev/null
+"$cli" session resume --snapshot="$work/warm_gate.alss" --threads=4 \
+    --no-cache --quiet --report="$work/warm_resumed.report.json" > /dev/null
+"$report_tool" check \
+    "$work/warm_on.report.json" "$work/warm_resumed.report.json" \
+    --exact-curve --counter-tol=0
+python3 - "$work/warm_resumed.report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+config = report["config"]
+assert config.get("session") == "resumed", config.get("session")
+assert config.get("warm_start") == "on", config.get("warm_start")
+EOF
+echo "warm resume replays the uninterrupted warm run exactly"
 
 echo "report gate OK"
